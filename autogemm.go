@@ -1,0 +1,293 @@
+// Package autogemm is a Go reproduction of "autoGEMM: Pushing the Limits
+// of Irregular Matrix Multiplication on Arm Architectures" (SC 2024): a
+// code-generation framework for single-precision GEMM on irregular
+// (small, tall-skinny, long-rectangular) shapes.
+//
+// The library auto-generates AArch64-style micro-kernels for register
+// tiles selected by arithmetic intensity, optimizes their pipelines with
+// rotating register allocation and epilogue–prologue fusion, partitions
+// cache blocks with the Dynamic Micro-Tiling algorithm, and tunes cache
+// blocking, loop order and packing with a model-pruned search. Because
+// this build targets commodity hosts rather than Arm silicon, kernels
+// execute on a cycle-level simulator of the paper's five evaluation
+// chips (KP920, Graviton2, Altra, M2, A64FX): Multiply computes real
+// float32 results by interpreting the generated kernels, and Estimate
+// projects their performance on the selected chip.
+//
+// Quick start:
+//
+//	eng, _ := autogemm.New("Graviton2")
+//	c := make([]float32, m*n)
+//	err := eng.Multiply(c, a, b, m, n, k) // C += A·B
+//	perf, _ := eng.Estimate(m, n, k, nil)
+//	fmt.Printf("%.1f GF/s (%.0f%% of peak)\n", perf.GFLOPS, perf.Efficiency*100)
+package autogemm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autogemm/internal/asm"
+	"autogemm/internal/baselines"
+	"autogemm/internal/core"
+	"autogemm/internal/hw"
+	"autogemm/internal/mkernel"
+	"autogemm/internal/tuner"
+)
+
+// Chips lists the supported chip model names.
+func Chips() []string {
+	var names []string
+	for _, c := range hw.All() {
+		names = append(names, c.Name)
+	}
+	names = append(names, "Graviton3", "Didactic")
+	return names
+}
+
+// Providers lists the GEMM implementations available for comparison:
+// this library plus the simulated baseline libraries of the paper's
+// evaluation.
+func Providers() []string {
+	var names []string
+	for _, p := range baselines.All() {
+		names = append(names, p.Name)
+	}
+	names = append(names, "SSL2")
+	sort.Strings(names)
+	return names
+}
+
+// Options exposes the tunable algorithm parameters of the paper's
+// Table III. The zero value of each field means "choose automatically".
+type Options struct {
+	MC, NC, KC int    // cache block shape
+	Order      string // block loop order: "MNK", "MKN", "NMK", "NKM", "KMN", "KNM"
+	Pack       string // "none", "online", "offline", or "" for automatic
+	NoRotate   bool   // disable rotating register allocation (§III-C1)
+	NoFuse     bool   // disable epilogue-prologue fusion (§III-C2)
+	Cores      int    // cores for performance estimation (0 = 1)
+}
+
+// Perf is a projected execution profile on the engine's chip.
+type Perf struct {
+	Cycles     float64
+	Seconds    float64
+	GFLOPS     float64
+	Efficiency float64 // fraction of the peak of the cores used
+	Cores      int
+}
+
+// Engine plans and executes GEMMs for one chip model. It is safe for
+// concurrent use; resolved plans are cached per shape and option set.
+type Engine struct {
+	chip  *hw.Chip
+	cache planCache
+}
+
+// New returns an engine for the named chip (see Chips).
+func New(chipName string) (*Engine, error) {
+	chip, err := hw.ByName(chipName)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{chip: chip}, nil
+}
+
+// ChipName returns the engine's chip model.
+func (e *Engine) ChipName() string { return e.chip.Name }
+
+// PeakGFLOPS returns the chip's single-core peak.
+func (e *Engine) PeakGFLOPS() float64 { return e.chip.PeakGFLOPS() }
+
+// Lanes returns σ_lane: float32 elements per SIMD register.
+func (e *Engine) Lanes() int { return e.chip.Lanes }
+
+// resolve converts public options into core options.
+func (e *Engine) resolve(opts *Options) (core.Options, error) {
+	co := core.AutoOptions(e.chip)
+	if opts == nil {
+		return co, nil
+	}
+	co.MC, co.NC, co.KC = opts.MC, opts.NC, opts.KC
+	co.Rotate = !opts.NoRotate
+	co.Fuse = !opts.NoFuse
+	co.Cores = opts.Cores
+	if opts.Order != "" {
+		found := false
+		for _, o := range core.AllLoopOrders() {
+			if strings.EqualFold(o.String(), opts.Order) {
+				co.Order = o
+				found = true
+			}
+		}
+		if !found {
+			return co, fmt.Errorf("autogemm: unknown loop order %q", opts.Order)
+		}
+	}
+	switch strings.ToLower(opts.Pack) {
+	case "":
+		co.Pack = core.PackAuto
+	case "none":
+		co.Pack = core.PackNone
+	case "online":
+		co.Pack = core.PackOnline
+	case "offline":
+		co.Pack = core.PackOffline
+	default:
+		return co, fmt.Errorf("autogemm: unknown packing mode %q", opts.Pack)
+	}
+	return co, nil
+}
+
+// Multiply computes C += A·B for row-major float32 matrices A (m×k),
+// B (k×n) and C (m×n) by executing the generated micro-kernels, and is
+// bit-validated against a reference GEMM in the test suite (relative
+// error below 1e-6, the paper's §V criterion).
+func (e *Engine) Multiply(c, a, b []float32, m, n, k int) error {
+	return e.MultiplyWith(nil, c, a, b, m, n, k)
+}
+
+// MultiplyWith is Multiply with explicit algorithm parameters.
+func (e *Engine) MultiplyWith(opts *Options, c, a, b []float32, m, n, k int) error {
+	co, err := e.resolve(opts)
+	if err != nil {
+		return err
+	}
+	plan, err := core.NewPlan(e.chip, m, n, k, co)
+	if err != nil {
+		return err
+	}
+	return plan.Run(c, a, b)
+}
+
+// Estimate projects the performance of the plan on the engine's chip.
+func (e *Engine) Estimate(m, n, k int, opts *Options) (Perf, error) {
+	co, err := e.resolve(opts)
+	if err != nil {
+		return Perf{}, err
+	}
+	plan, err := core.NewPlan(e.chip, m, n, k, co)
+	if err != nil {
+		return Perf{}, err
+	}
+	est, err := plan.Estimate()
+	if err != nil {
+		return Perf{}, err
+	}
+	return perfOf(est), nil
+}
+
+// EstimateProvider projects the performance of one of the simulated
+// baseline libraries (see Providers) on the same problem.
+func (e *Engine) EstimateProvider(provider string, m, n, k int) (Perf, error) {
+	p, err := baselines.ByName(provider)
+	if err != nil {
+		return Perf{}, err
+	}
+	if !p.Supports(e.chip, m, n, k) {
+		return Perf{}, fmt.Errorf("autogemm: %s does not support %dx%dx%d on %s",
+			provider, m, n, k, e.chip.Name)
+	}
+	est, err := p.Estimate(e.chip, m, n, k)
+	if err != nil {
+		return Perf{}, err
+	}
+	return perfOf(est), nil
+}
+
+// Tune searches the Table III parameter space for the problem and
+// returns the best options found along with their projected performance.
+// budget caps the number of simulator evaluations (0 = default).
+func (e *Engine) Tune(m, n, k, budget int) (Options, Perf, error) {
+	res, err := tuner.Tune(tuner.Config{
+		Chip: e.chip, M: m, N: n, K: k, UseModel: true, MaxEvals: budget,
+	})
+	if err != nil {
+		return Options{}, Perf{}, err
+	}
+	best := Options{
+		MC: res.Best.MC, NC: res.Best.NC, KC: res.Best.KC,
+		Order: res.Best.Order.String(), Pack: res.Best.Pack.String(),
+	}
+	return best, perfOf(res.Estimate), nil
+}
+
+// GenerateKernel emits the assembly text of one auto-generated
+// micro-kernel (the paper's Listing 1 output) for inspection.
+func (e *Engine) GenerateKernel(mr, nr, kc int, rotate bool) (string, error) {
+	prog, err := e.kernelProgram(mr, nr, kc, rotate)
+	if err != nil {
+		return "", err
+	}
+	return prog.String(), nil
+}
+
+// PreferredTiles returns the high-AI register tiles the generator
+// prefers on this chip (Table II's blue shapes), as "MRxNR" strings.
+func (e *Engine) PreferredTiles() []string {
+	var out []string
+	for _, t := range mkernel.PreferredTiles(e.chip.Lanes) {
+		out = append(out, t.String())
+	}
+	return out
+}
+
+func perfOf(est core.Estimate) Perf {
+	return Perf{
+		Cycles: est.Cycles, Seconds: est.Seconds, GFLOPS: est.GFLOPS,
+		Efficiency: est.Efficiency, Cores: est.Cores,
+	}
+}
+
+// GenerateKernelS emits one micro-kernel as a complete GNU assembler .S
+// file with an AAPCS64 function wrapper, assemblable on Armv8 hardware.
+func (e *Engine) GenerateKernelS(mr, nr, kc int, rotate bool) (string, error) {
+	prog, err := e.kernelProgram(mr, nr, kc, rotate)
+	if err != nil {
+		return "", err
+	}
+	return prog.SFile(), nil
+}
+
+// GenerateKernelWords emits one micro-kernel as encoded AArch64 machine
+// words (.word directives). Only the NEON (4-lane) chips are encodable;
+// the SVE configuration's 16-lane element indices have no .4s encoding.
+func (e *Engine) GenerateKernelWords(mr, nr, kc int, rotate bool) (string, error) {
+	prog, err := e.kernelProgram(mr, nr, kc, rotate)
+	if err != nil {
+		return "", err
+	}
+	return prog.HexWords()
+}
+
+func (e *Engine) kernelProgram(mr, nr, kc int, rotate bool) (*asm.Program, error) {
+	return mkernel.Generate(mkernel.Config{
+		Tile: mkernel.Tile{MR: mr, NR: nr}, KC: kc, Lanes: e.chip.Lanes,
+		Rotate: rotate, LoadC: true, SigmaAI: e.chip.SigmaAI, Prefetch: true,
+	})
+}
+
+// KernelInfo reports a micro-kernel's instruction mix, register usage,
+// rotation scheme and arithmetic-intensity figures.
+func (e *Engine) KernelInfo(mr, nr, kc int, rotate bool) (string, error) {
+	info, err := mkernel.Describe(mkernel.Config{
+		Tile: mkernel.Tile{MR: mr, NR: nr}, KC: kc, Lanes: e.chip.Lanes,
+		Rotate: rotate, LoadC: true, SigmaAI: e.chip.SigmaAI,
+	})
+	if err != nil {
+		return "", err
+	}
+	return info.String(), nil
+}
+
+// DescribePlan renders the fully-resolved execution plan for a problem:
+// blocking, packing, loop order, and the micro-tiling of each block.
+func (e *Engine) DescribePlan(opts *Options, m, n, k int) (string, error) {
+	plan, err := e.plan(opts, m, n, k)
+	if err != nil {
+		return "", err
+	}
+	return plan.Describe()
+}

@@ -1,0 +1,99 @@
+package autogemm
+
+import (
+	"fmt"
+	"sync"
+
+	"autogemm/internal/core"
+)
+
+// planCache memoizes resolved plans per engine so repeated calls on the
+// same shape (the batched-small-GEMM pattern the paper's introduction
+// motivates) skip blocking resolution, tiling and kernel generation.
+type planCache struct {
+	mu    sync.Mutex
+	plans map[planKey]*core.Plan
+}
+
+type planKey struct {
+	m, n, k int
+	opts    Options
+}
+
+func (e *Engine) plan(opts *Options, m, n, k int) (*core.Plan, error) {
+	var key planKey
+	key.m, key.n, key.k = m, n, k
+	if opts != nil {
+		key.opts = *opts
+	}
+	e.cache.mu.Lock()
+	if e.cache.plans == nil {
+		e.cache.plans = make(map[planKey]*core.Plan)
+	}
+	if p, ok := e.cache.plans[key]; ok {
+		e.cache.mu.Unlock()
+		return p, nil
+	}
+	e.cache.mu.Unlock()
+
+	co, err := e.resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewPlan(e.chip, m, n, k, co)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.mu.Lock()
+	e.cache.plans[key] = p
+	e.cache.mu.Unlock()
+	return p, nil
+}
+
+// SGEMM computes C = α·op(A)·op(B) + β·C with the full BLAS-3 parameter
+// set. m, n, k describe the operated shapes: op(A) is m×k and op(B) is
+// k×n; when transA is set, A is stored k×m row-major (and likewise B is
+// n×k when transB is set). β = 0 overwrites C without reading it.
+func (e *Engine) SGEMM(transA, transB bool, m, n, k int,
+	alpha float32, a, b []float32, beta float32, c []float32) error {
+	return e.SGEMMWith(nil, transA, transB, m, n, k, alpha, a, b, beta, c)
+}
+
+// SGEMMWith is SGEMM with explicit algorithm parameters.
+func (e *Engine) SGEMMWith(opts *Options, transA, transB bool, m, n, k int,
+	alpha float32, a, b []float32, beta float32, c []float32) error {
+	plan, err := e.plan(opts, m, n, k)
+	if err != nil {
+		return err
+	}
+	return plan.RunSGEMM(core.SGEMMParams{
+		Alpha: alpha, Beta: beta,
+		TransA: core.Transpose(transA), TransB: core.Transpose(transB),
+	}, c, a, b)
+}
+
+// MultiplyBatch computes C[i] += A[i]·B[i] for a batch of equally-shaped
+// problems, reusing one plan — the batched small-GEMM pattern of the
+// paper's DL motivation (§I).
+func (e *Engine) MultiplyBatch(c, a, b [][]float32, m, n, k int) error {
+	if len(a) != len(b) || len(b) != len(c) {
+		return fmt.Errorf("autogemm: batch slices disagree: %d/%d/%d", len(a), len(b), len(c))
+	}
+	plan, err := e.plan(nil, m, n, k)
+	if err != nil {
+		return err
+	}
+	for i := range c {
+		if err := plan.Run(c[i], a[i], b[i]); err != nil {
+			return fmt.Errorf("autogemm: batch element %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CachedPlans reports how many resolved plans the engine holds.
+func (e *Engine) CachedPlans() int {
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
+	return len(e.cache.plans)
+}

@@ -1,0 +1,49 @@
+// Command autogemm-tune searches the algorithm parameter space for one
+// GEMM shape and prints the winning configuration:
+//
+//	autogemm-tune -chip Graviton2 -m 256 -n 3136 -k 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autogemm"
+)
+
+func main() {
+	chip := flag.String("chip", "KP920", "chip model")
+	m := flag.Int("m", 64, "rows of A and C")
+	n := flag.Int("n", 64, "columns of B and C")
+	k := flag.Int("k", 64, "inner dimension")
+	budget := flag.Int("budget", 16, "simulator evaluation budget")
+	explain := flag.Bool("explain", false, "print the resolved plan and its tilings")
+	flag.Parse()
+
+	eng, err := autogemm.New(*chip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts, perf, err := eng.Tune(*m, *n, *k, *budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("problem   %dx%dx%d on %s\n", *m, *n, *k, eng.ChipName())
+	fmt.Printf("blocking  m_c=%d n_c=%d k_c=%d\n", opts.MC, opts.NC, opts.KC)
+	fmt.Printf("order     %s\n", opts.Order)
+	fmt.Printf("packing   %s\n", opts.Pack)
+	fmt.Printf("projected %.1f GF/s (%.1f%% of single-core peak)\n",
+		perf.GFLOPS, perf.Efficiency*100)
+	if *explain {
+		desc, err := eng.DescribePlan(&opts, *m, *n, *k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(desc)
+	}
+}

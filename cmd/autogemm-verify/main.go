@@ -1,0 +1,58 @@
+// Command autogemm-verify runs the paper's §V correctness process: every
+// library implementation computes randomized problems and is checked
+// against the reference to relative error < 1e-6.
+//
+//	autogemm-verify -chip A64FX -cases 100 -max 64 -variants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autogemm/internal/hw"
+	"autogemm/internal/verify"
+)
+
+func main() {
+	chipName := flag.String("chip", "KP920", "chip model, or 'all'")
+	cases := flag.Int("cases", 40, "randomized problems per chip")
+	maxDim := flag.Int("max", 48, "maximum dimension")
+	seed := flag.Int64("seed", 1, "case generator seed")
+	variants := flag.Bool("variants", false, "also sweep autoGEMM option variants")
+	flag.Parse()
+
+	chips := hw.All()
+	if *chipName != "all" {
+		chip, err := hw.ByName(*chipName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		chips = []*hw.Chip{chip}
+	}
+	failed := false
+	for _, chip := range chips {
+		rep, err := verify.Run(verify.Config{
+			Chip: chip, Cases: *cases, MaxDim: *maxDim, Seed: *seed, Variants: *variants,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %d cases, %d checks, max rel err %.2e — ",
+			chip.Name, rep.Cases, rep.Checks, rep.MaxRelErr)
+		if len(rep.Failures) == 0 {
+			fmt.Println("all within 1e-6")
+			continue
+		}
+		failed = true
+		fmt.Printf("%d FAILURES\n", len(rep.Failures))
+		for _, f := range rep.Failures {
+			fmt.Println("  " + f.String())
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

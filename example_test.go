@@ -1,0 +1,76 @@
+package autogemm_test
+
+import (
+	"fmt"
+	"log"
+
+	"autogemm"
+)
+
+// ExampleEngine_Multiply multiplies two small matrices through the
+// generated micro-kernels and prints one verified element.
+func ExampleEngine_Multiply() {
+	eng, err := autogemm.New("Graviton2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const m, n, k = 2, 3, 4
+	a := []float32{ // 2x4
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+	}
+	b := []float32{ // 4x3
+		1, 0, 1,
+		0, 1, 1,
+		1, 1, 0,
+		1, 0, 1,
+	}
+	c := make([]float32, m*n)
+	if err := eng.Multiply(c, a, b, m, n, k); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c)
+	// Output: [8 5 7 20 13 19]
+}
+
+// ExampleEngine_Estimate projects the performance of an irregular GEMM
+// on a simulated chip.
+func ExampleEngine_Estimate() {
+	eng, err := autogemm.New("KP920")
+	if err != nil {
+		log.Fatal(err)
+	}
+	perf, err := eng.Estimate(64, 64, 64, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("efficiency above 80%%: %v\n", perf.Efficiency > 0.8)
+	// Output: efficiency above 80%: true
+}
+
+// ExampleEngine_PreferredTiles prints the high-AI register tiles the
+// generator prefers on a NEON chip (Table II's blue shapes).
+func ExampleEngine_PreferredTiles() {
+	eng, err := autogemm.New("KP920")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(eng.PreferredTiles())
+	// Output: [8x8 6x12 5x16 4x20]
+}
+
+// ExampleEngine_SGEMM computes C = 2·A·B + 0·C with the BLAS interface.
+func ExampleEngine_SGEMM() {
+	eng, err := autogemm.New("M2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := []float32{1, 2, 3, 4} // 2x2
+	b := []float32{1, 0, 0, 1} // identity
+	c := []float32{9, 9, 9, 9} // beta = 0 overwrites
+	if err := eng.SGEMM(false, false, 2, 2, 2, 2, a, b, 0, c); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c)
+	// Output: [2 4 6 8]
+}

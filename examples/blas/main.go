@@ -1,0 +1,69 @@
+// BLAS-style usage: the full SGEMM interface (alpha/beta scaling,
+// transposed operands) and batched small GEMM with plan reuse — the
+// deep-learning pattern the paper's introduction motivates (many small
+// multiplications of one shape).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"autogemm"
+)
+
+func main() {
+	eng, err := autogemm.New("KP920")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// C = 0.5 · Aᵀ·B + 2·C on an irregular shape.
+	const m, n, k = 20, 28, 12
+	a := make([]float32, k*m) // stored k×m because transA
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = float32(i%9) - 4
+	}
+	for i := range b {
+		b[i] = float32(i%7) - 3
+	}
+	for i := range c {
+		c[i] = 1
+	}
+	if err := eng.SGEMM(true, false, m, n, k, 0.5, a, b, 2, c); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SGEMM(transA, alpha=0.5, beta=2) done; c[0]=%g c[last]=%g\n",
+		c[0], c[m*n-1])
+
+	// Batched small GEMM: 64 multiplications of one 8x8x8 shape reuse a
+	// single resolved plan (blocking, tiling and kernels generated once).
+	const batch, s = 64, 8
+	as := make([][]float32, batch)
+	bs := make([][]float32, batch)
+	cs := make([][]float32, batch)
+	for i := range as {
+		as[i] = make([]float32, s*s)
+		bs[i] = make([]float32, s*s)
+		cs[i] = make([]float32, s*s)
+		for j := range as[i] {
+			as[i][j] = float32((i + j) % 5)
+			bs[i][j] = float32((i * j) % 3)
+		}
+	}
+	start := time.Now()
+	if err := eng.MultiplyBatch(cs, as, bs, s, s, s); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batched %d x (%dx%dx%d) in %v with %d cached plan(s)\n",
+		batch, s, s, s, time.Since(start).Round(time.Microsecond), eng.CachedPlans())
+
+	perf, err := eng.Estimate(s, s, s, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projected per-multiplication on %s: %.0f cycles, %.1f GF/s\n",
+		eng.ChipName(), perf.Cycles, perf.GFLOPS)
+}

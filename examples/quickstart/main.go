@@ -1,0 +1,61 @@
+// Quickstart: multiply two small matrices through the generated
+// micro-kernels, verify the result, and project performance on a
+// simulated Arm chip.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"autogemm"
+)
+
+func main() {
+	const m, n, k = 26, 36, 20 // the paper's running irregular example
+
+	eng, err := autogemm.New("Graviton2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = float32(i%7) - 3
+	}
+	for i := range b {
+		b[i] = float32(i%5) - 2
+	}
+
+	// C += A·B through autoGEMM's generated kernels.
+	if err := eng.Multiply(c, a, b, m, n, k); err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify against a straightforward reference.
+	want := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			for j := 0; j < n; j++ {
+				want[i*n+j] += a[i*k+p] * b[p*n+j]
+			}
+		}
+	}
+	worst := 0.0
+	for i := range c {
+		if d := math.Abs(float64(c[i] - want[i])); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("result verified: max abs deviation %.3g\n", worst)
+
+	perf, err := eng.Estimate(m, n, k, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projected on %s: %.1f GF/s, %.1f%% of single-core peak (%.1f GF/s)\n",
+		eng.ChipName(), perf.GFLOPS, perf.Efficiency*100, eng.PeakGFLOPS())
+	fmt.Printf("preferred register tiles on this chip: %v\n", eng.PreferredTiles())
+}

@@ -1,0 +1,64 @@
+// ResNet-50 sweep: the paper's motivating workload (Table V). Projects
+// every layer's irregular GEMM with autoGEMM and the simulated OpenBLAS
+// and Eigen baselines on a chosen chip, reporting the speedups the
+// paper's Fig 9 plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"autogemm"
+)
+
+// The 20 layer shapes of Table V.
+var layers = []struct {
+	name    string
+	m, n, k int
+}{
+	{"L1", 64, 12544, 147}, {"L2", 64, 3136, 64}, {"L3", 64, 3136, 576},
+	{"L4", 256, 3136, 64}, {"L5", 64, 3136, 256}, {"L6", 128, 784, 256},
+	{"L7", 128, 784, 1152}, {"L8", 512, 784, 128}, {"L9", 512, 784, 256},
+	{"L10", 128, 784, 512}, {"L11", 256, 196, 512}, {"L12", 256, 196, 2304},
+	{"L13", 1024, 196, 256}, {"L14", 1024, 196, 512}, {"L15", 256, 196, 1024},
+	{"L16", 512, 49, 1024}, {"L17", 512, 49, 4608}, {"L18", 2048, 49, 512},
+	{"L19", 2048, 49, 1024}, {"L20", 512, 49, 2048},
+}
+
+func main() {
+	chip := flag.String("chip", "KP920", "chip model")
+	flag.Parse()
+
+	eng, err := autogemm.New(*chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ResNet-50 irregular GEMMs on %s (single core, GF/s)\n", eng.ChipName())
+	fmt.Printf("%-4s %18s  %8s %8s %8s  %8s %8s\n",
+		"", "MxNxK", "OpenBLAS", "Eigen", "autoGEMM", "vs OB", "vs Eigen")
+
+	var sumOB, sumEig float64
+	for _, l := range layers {
+		auto, err := eng.Estimate(l.m, l.n, l.k, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ob, err := eng.EstimateProvider("OpenBLAS", l.m, l.n, l.k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eig, err := eng.EstimateProvider("Eigen", l.m, l.n, l.k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sOB, sEig := auto.GFLOPS/ob.GFLOPS, auto.GFLOPS/eig.GFLOPS
+		sumOB += sOB
+		sumEig += sEig
+		fmt.Printf("%-4s %7dx%5dx%4d  %8.1f %8.1f %8.1f  %7.2fx %7.2fx\n",
+			l.name, l.m, l.n, l.k, ob.GFLOPS, eig.GFLOPS, auto.GFLOPS, sOB, sEig)
+	}
+	n := float64(len(layers))
+	fmt.Printf("\naverage speedup: %.2fx over OpenBLAS, %.2fx over Eigen "+
+		"(paper: 1.3x and 1.5x on average)\n", sumOB/n, sumEig/n)
+}

@@ -1,0 +1,66 @@
+// Scaling: the strong-scaling evaluation of Fig 11 — the ResNet-50 L1
+// layer (64×12544×147) across core counts on every simulated chip,
+// showing near-linear scaling on the single-memory-domain chips and the
+// CMG/ring-bus collapse on A64FX.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autogemm"
+)
+
+func main() {
+	const m, n, k = 64, 12544, 147 // Table V layer L1
+
+	for _, chipName := range autogemm.Chips() {
+		if chipName == "Didactic" {
+			continue
+		}
+		eng, err := autogemm.New(chipName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — strong scaling on %dx%dx%d\n", chipName, m, n, k)
+		var base float64
+		maxCores := coresOf(chipName)
+		for cores := 1; ; cores *= 2 {
+			if cores > maxCores {
+				cores = maxCores
+			}
+			perf, err := eng.Estimate(m, n, k, &autogemm.Options{Cores: cores})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if cores == 1 {
+				base = perf.GFLOPS
+			}
+			speedup := perf.GFLOPS / base
+			fmt.Printf("  %3d cores: %8.1f GF/s  speedup %6.2fx  parallel eff %5.1f%%\n",
+				cores, perf.GFLOPS, speedup, 100*speedup/float64(cores))
+			if cores == maxCores {
+				break
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper (full socket): KP920 98%, Graviton2 98.2%, Altra 83.2%, M2 93.5%, A64FX 30.3%")
+}
+
+func coresOf(chip string) int {
+	switch chip {
+	case "KP920":
+		return 8
+	case "Graviton2":
+		return 16
+	case "Altra":
+		return 70
+	case "M2":
+		return 4
+	case "A64FX":
+		return 48
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,3 @@
+module autogemm
+
+go 1.22

@@ -1,0 +1,360 @@
+// Package asm defines a small AArch64-flavoured assembly intermediate
+// representation used by the autoGEMM micro-kernel generator.
+//
+// The IR covers exactly the instruction mix that Listing 1 of the paper
+// emits: scalar pointer arithmetic (MOV/MOVI/LSL/ADD/SUBS), vector loads
+// and stores of one SIMD register (offset and post-index addressing),
+// fused multiply-add by element (FMLA Vd, Vn, Vm.s[lane]), prefetch, and
+// the loop branch. Programs built from this IR are executed functionally
+// and timed by package sim.
+//
+// Vector width is a property of the executing machine, not of the IR: a
+// vector register holds σ_lane float32 values (4 for NEON, 16 for the
+// 512-bit SVE configuration used by A64FX).
+package asm
+
+import "fmt"
+
+// NumScalarRegs and NumVectorRegs fix the architectural register file
+// sizes. AArch64 has 31 general-purpose registers plus the zero register,
+// and 32 SIMD registers — the paper's Table II derives its 58 feasible
+// tile sizes from the 32-vector-register limit.
+const (
+	NumScalarRegs = 32 // X0..X30 plus XZR (index 31)
+	NumVectorRegs = 32 // V0..V31
+)
+
+// Reg identifies a register. Values 0..31 are the scalar registers
+// X0..X30 and XZR; values 32..63 are the vector registers V0..V31.
+type Reg uint8
+
+// XZR is the AArch64 zero register: reads as zero, writes are discarded.
+const XZR = Reg(31)
+
+// NoReg marks an unused register operand.
+const NoReg = Reg(255)
+
+// X returns the i-th scalar register.
+func X(i int) Reg {
+	if i < 0 || i >= NumScalarRegs {
+		panic(fmt.Sprintf("asm: scalar register X%d out of range", i))
+	}
+	return Reg(i)
+}
+
+// V returns the i-th vector register.
+func V(i int) Reg {
+	if i < 0 || i >= NumVectorRegs {
+		panic(fmt.Sprintf("asm: vector register V%d out of range", i))
+	}
+	return Reg(NumScalarRegs + i)
+}
+
+// IsVector reports whether r names a SIMD register.
+func (r Reg) IsVector() bool { return r >= NumScalarRegs && r < NumScalarRegs+NumVectorRegs }
+
+// IsScalar reports whether r names a general-purpose register.
+func (r Reg) IsScalar() bool { return r < NumScalarRegs }
+
+// Index returns the register number within its class.
+func (r Reg) Index() int {
+	if r.IsVector() {
+		return int(r - NumScalarRegs)
+	}
+	return int(r)
+}
+
+// String renders the register in AArch64 syntax.
+func (r Reg) String() string {
+	switch {
+	case r == NoReg:
+		return "-"
+	case r == XZR:
+		return "xzr"
+	case r.IsVector():
+		return fmt.Sprintf("v%d", r.Index())
+	default:
+		return fmt.Sprintf("x%d", r.Index())
+	}
+}
+
+// Op enumerates the instruction kinds in the IR.
+type Op uint8
+
+// Instruction opcodes. Addressing follows AArch64: "post" means
+// post-indexed (the base register is incremented by the immediate after
+// the access); otherwise the immediate is a plain byte offset.
+const (
+	OpNop Op = iota
+	// Scalar ALU.
+	OpMov  // Dst = Src1
+	OpMovI // Dst = Imm
+	OpLsl  // Dst = Src1 << Imm
+	OpAdd  // Dst = Src1 + Src2
+	OpAddI // Dst = Src1 + Imm
+	OpSubI // Dst = Src1 - Imm
+	OpSubs // Dst = Src1 - Imm, sets the Z flag
+	// Control flow.
+	OpLabel // pseudo-instruction: defines Label
+	OpB     // unconditional branch to Label
+	OpBne   // branch to Label when Z flag is clear
+	OpRet   // end of kernel
+	// Vector memory.
+	OpLdrQ     // Dst(vec) = mem[Src1 + Imm]
+	OpLdrQPost // Dst(vec) = mem[Src1]; Src1 += Imm
+	OpStrQ     // mem[Src1 + Imm] = Dst(vec)
+	OpStrQPost // mem[Src1] = Dst(vec); Src1 += Imm
+	// Vector arithmetic.
+	OpFmla  // Dst.4s += Src1.4s * Src2.s[Lane]
+	OpVZero // Dst.4s = 0 (movi vd.4s, #0)
+	// Memory hints.
+	OpPrfm // prefetch mem[Src1 + Imm]
+	numOps // sentinel
+)
+
+var opNames = [numOps]string{
+	OpNop:      "nop",
+	OpMov:      "mov",
+	OpMovI:     "mov",
+	OpLsl:      "lsl",
+	OpAdd:      "add",
+	OpAddI:     "add",
+	OpSubI:     "sub",
+	OpSubs:     "subs",
+	OpLabel:    "label",
+	OpB:        "b",
+	OpBne:      "b.ne",
+	OpRet:      "ret",
+	OpLdrQ:     "ldr",
+	OpLdrQPost: "ldr",
+	OpStrQ:     "str",
+	OpStrQPost: "str",
+	OpFmla:     "fmla",
+	OpVZero:    "movi",
+	OpPrfm:     "prfm",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	if name, ok := sveOpName(o); ok {
+		return name
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Class groups opcodes by the execution resource they occupy; the timing
+// simulator assigns latencies and issue ports per class.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNone  Class = iota // labels, ret
+	ClassALU                // scalar arithmetic and branches
+	ClassLoad               // vector loads
+	ClassStore              // vector stores
+	ClassFMA                // vector fused multiply-add
+	ClassPrfm               // prefetch hints (load port, no result)
+)
+
+// ClassOf returns the execution class of an opcode.
+func ClassOf(op Op) Class {
+	switch op {
+	case OpMov, OpMovI, OpLsl, OpAdd, OpAddI, OpSubI, OpSubs, OpB, OpBne:
+		return ClassALU
+	case OpLdrQ, OpLdrQPost:
+		return ClassLoad
+	case OpStrQ, OpStrQPost:
+		return ClassStore
+	case OpFmla, OpVZero:
+		return ClassFMA
+	case OpPrfm:
+		return ClassPrfm
+	default:
+		if c, ok := sveClass(op); ok {
+			return c
+		}
+		return ClassNone
+	}
+}
+
+// Instr is a single instruction. Field use depends on Op; see the Op
+// constants. Comment carries generator annotations that the printer emits
+// verbatim, mirroring the commentary in the paper's Listing 1.
+type Instr struct {
+	Op      Op
+	Dst     Reg
+	Src1    Reg
+	Src2    Reg
+	Imm     int64
+	Lane    uint8  // FMLA source element
+	Label   string // branch target or label name
+	Comment string
+}
+
+// Program is an ordered instruction sequence with resolved labels.
+type Program struct {
+	Name   string
+	Instrs []Instr
+	labels map[string]int // label name -> index of the OpLabel pseudo-instruction
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, labels: make(map[string]int)}
+}
+
+// Len returns the number of instructions, including label pseudo-instructions.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// LabelIndex returns the instruction index of a label.
+func (p *Program) LabelIndex(name string) (int, bool) {
+	i, ok := p.labels[name]
+	return i, ok
+}
+
+func (p *Program) push(in Instr) *Program {
+	p.Instrs = append(p.Instrs, in)
+	return p
+}
+
+// Mov appends Dst = Src.
+func (p *Program) Mov(dst, src Reg) *Program { return p.push(Instr{Op: OpMov, Dst: dst, Src1: src}) }
+
+// MovI appends Dst = imm.
+func (p *Program) MovI(dst Reg, imm int64) *Program {
+	return p.push(Instr{Op: OpMovI, Dst: dst, Imm: imm})
+}
+
+// Lsl appends Dst = Src << sh.
+func (p *Program) Lsl(dst, src Reg, sh int64) *Program {
+	return p.push(Instr{Op: OpLsl, Dst: dst, Src1: src, Imm: sh})
+}
+
+// Add appends Dst = a + b.
+func (p *Program) Add(dst, a, b Reg) *Program {
+	return p.push(Instr{Op: OpAdd, Dst: dst, Src1: a, Src2: b})
+}
+
+// AddI appends Dst = a + imm.
+func (p *Program) AddI(dst, a Reg, imm int64) *Program {
+	return p.push(Instr{Op: OpAddI, Dst: dst, Src1: a, Imm: imm})
+}
+
+// SubI appends Dst = a - imm.
+func (p *Program) SubI(dst, a Reg, imm int64) *Program {
+	return p.push(Instr{Op: OpSubI, Dst: dst, Src1: a, Imm: imm})
+}
+
+// Subs appends Dst = a - imm and sets the zero flag.
+func (p *Program) Subs(dst, a Reg, imm int64) *Program {
+	return p.push(Instr{Op: OpSubs, Dst: dst, Src1: a, Imm: imm})
+}
+
+// Label defines a branch target at the current position.
+func (p *Program) Label(name string) *Program {
+	if _, dup := p.labels[name]; dup {
+		panic(fmt.Sprintf("asm: duplicate label %q in %s", name, p.Name))
+	}
+	p.labels[name] = len(p.Instrs)
+	return p.push(Instr{Op: OpLabel, Label: name})
+}
+
+// B appends an unconditional branch.
+func (p *Program) B(label string) *Program { return p.push(Instr{Op: OpB, Label: label}) }
+
+// Bne appends a branch taken while the zero flag is clear.
+func (p *Program) Bne(label string) *Program { return p.push(Instr{Op: OpBne, Label: label}) }
+
+// Ret terminates the kernel.
+func (p *Program) Ret() *Program { return p.push(Instr{Op: OpRet}) }
+
+// LdrQ appends Dst = mem[base + off].
+func (p *Program) LdrQ(dst, base Reg, off int64) *Program {
+	return p.push(Instr{Op: OpLdrQ, Dst: dst, Src1: base, Imm: off})
+}
+
+// LdrQPost appends Dst = mem[base]; base += inc.
+func (p *Program) LdrQPost(dst, base Reg, inc int64) *Program {
+	return p.push(Instr{Op: OpLdrQPost, Dst: dst, Src1: base, Imm: inc})
+}
+
+// StrQ appends mem[base + off] = src.
+func (p *Program) StrQ(src, base Reg, off int64) *Program {
+	return p.push(Instr{Op: OpStrQ, Dst: src, Src1: base, Imm: off})
+}
+
+// StrQPost appends mem[base] = src; base += inc.
+func (p *Program) StrQPost(src, base Reg, inc int64) *Program {
+	return p.push(Instr{Op: OpStrQPost, Dst: src, Src1: base, Imm: inc})
+}
+
+// Fmla appends Dst += Vn * Vm.s[lane] across all vector lanes.
+func (p *Program) Fmla(dst, vn, vm Reg, lane int) *Program {
+	return p.push(Instr{Op: OpFmla, Dst: dst, Src1: vn, Src2: vm, Lane: uint8(lane)})
+}
+
+// VZero appends Dst = 0 across all vector lanes.
+func (p *Program) VZero(dst Reg) *Program { return p.push(Instr{Op: OpVZero, Dst: dst}) }
+
+// Prfm appends a prefetch hint for mem[base + off].
+func (p *Program) Prfm(base Reg, off int64) *Program {
+	return p.push(Instr{Op: OpPrfm, Src1: base, Imm: off})
+}
+
+// Comment attaches a comment to the most recently appended instruction.
+func (p *Program) Comment(c string) *Program {
+	if n := len(p.Instrs); n > 0 {
+		p.Instrs[n-1].Comment = c
+	}
+	return p
+}
+
+// Reads returns the registers an instruction reads. The zero register is
+// included when named; callers that track dependencies should skip XZR.
+func (in *Instr) Reads() []Reg {
+	switch in.Op {
+	case OpMov:
+		return []Reg{in.Src1}
+	case OpLsl, OpAddI, OpSubI, OpSubs:
+		return []Reg{in.Src1}
+	case OpAdd:
+		return []Reg{in.Src1, in.Src2}
+	case OpLdrQ, OpPrfm:
+		return []Reg{in.Src1}
+	case OpLdrQPost:
+		return []Reg{in.Src1}
+	case OpStrQ:
+		return []Reg{in.Dst, in.Src1} // stores read the data register
+	case OpStrQPost:
+		return []Reg{in.Dst, in.Src1}
+	case OpFmla:
+		return []Reg{in.Dst, in.Src1, in.Src2} // FMLA accumulates into Dst
+	default:
+		if rs, ok := sveReads(in); ok {
+			return rs
+		}
+		return nil
+	}
+}
+
+// Writes returns the registers an instruction writes.
+func (in *Instr) Writes() []Reg {
+	switch in.Op {
+	case OpMov, OpMovI, OpLsl, OpAdd, OpAddI, OpSubI, OpSubs, OpLdrQ, OpVZero:
+		return []Reg{in.Dst}
+	case OpLdrQPost:
+		return []Reg{in.Dst, in.Src1} // post-index updates the base
+	case OpStrQPost:
+		return []Reg{in.Src1}
+	case OpFmla:
+		return []Reg{in.Dst}
+	default:
+		if ws, ok := sveWrites(in); ok {
+			return ws
+		}
+		return nil
+	}
+}

@@ -1,0 +1,176 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterConstructors(t *testing.T) {
+	if X(0) != Reg(0) || X(30) != Reg(30) {
+		t.Error("scalar register numbering")
+	}
+	if !V(0).IsVector() || V(31).Index() != 31 {
+		t.Error("vector register numbering")
+	}
+	if X(5).IsVector() || !X(5).IsScalar() {
+		t.Error("class predicates")
+	}
+	if XZR.String() != "xzr" || V(7).String() != "v7" || X(3).String() != "x3" {
+		t.Error("register names")
+	}
+}
+
+func TestRegisterConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { X(32) }, func() { X(-1) }, func() { V(32) }, func() { V(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestProgramBuilderAndLabels(t *testing.T) {
+	p := NewProgram("t")
+	p.MovI(X(0), 4).Label("top").Subs(X(0), X(0), 1).Bne("top").Ret()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := p.LabelIndex("top"); !ok || p.Instrs[i].Op != OpLabel {
+		t.Error("label resolution")
+	}
+	if _, ok := p.LabelIndex("missing"); ok {
+		t.Error("phantom label")
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate label")
+		}
+	}()
+	NewProgram("t").Label("a").Label("a")
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mk := func(f func(p *Program)) error {
+		p := NewProgram("t")
+		f(p)
+		p.Ret()
+		return p.Validate()
+	}
+	cases := []struct {
+		name string
+		f    func(p *Program)
+	}{
+		{"undefined branch", func(p *Program) { p.Bne("nowhere") }},
+		{"vector into scalar mov", func(p *Program) { p.Mov(V(0), X(1)) }},
+		{"scalar fmla", func(p *Program) { p.Fmla(V(0), X(1), V(2), 0) }},
+		{"load into scalar", func(p *Program) { p.LdrQ(X(0), X(1), 0) }},
+		{"load base xzr", func(p *Program) { p.LdrQ(V(0), XZR, 0) }},
+		{"store from scalar", func(p *Program) { p.StrQ(X(0), X(1), 0) }},
+	}
+	for _, c := range cases {
+		if err := mk(c.f); err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+	if err := NewProgram("empty").Validate(); err == nil {
+		t.Error("empty program validated")
+	}
+	p := NewProgram("noret")
+	p.MovI(X(0), 1)
+	if err := p.Validate(); err == nil {
+		t.Error("program without ret validated")
+	}
+}
+
+func TestReadsWrites(t *testing.T) {
+	in := Instr{Op: OpFmla, Dst: V(0), Src1: V(1), Src2: V(2)}
+	if got := in.Reads(); len(got) != 3 {
+		t.Errorf("fmla reads %v", got) // fmla accumulates: reads dst too
+	}
+	in = Instr{Op: OpLdrQPost, Dst: V(3), Src1: X(1), Imm: 16}
+	if w := in.Writes(); len(w) != 2 {
+		t.Errorf("post-index load writes %v, want data+base", w)
+	}
+	in = Instr{Op: OpStrQ, Dst: V(3), Src1: X(1)}
+	if w := in.Writes(); len(w) != 0 {
+		t.Errorf("plain store writes %v, want none", w)
+	}
+	if r := in.Reads(); len(r) != 2 {
+		t.Errorf("store reads %v, want data+base", r)
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	p := NewProgram("s")
+	p.MovI(X(29), 2).Label("l")
+	p.LdrQ(V(0), X(0), 0)
+	p.Fmla(V(1), V(0), V(0), 0)
+	p.StrQ(V(1), X(2), 0)
+	p.Subs(X(29), X(29), 1).Bne("l").Ret()
+	s := p.CollectStats()
+	if s.Loads != 1 || s.Stores != 1 || s.FMA != 1 || s.Labels != 1 || s.Branches != 1 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.ALU != 3 { // movi, subs, bne
+		t.Errorf("ALU count %d, want 3", s.ALU)
+	}
+}
+
+func TestVectorRegsUsed(t *testing.T) {
+	p := NewProgram("v")
+	p.VZero(V(0)).VZero(V(5)).Fmla(V(0), V(5), V(9), 1).Ret()
+	if n := p.VectorRegsUsed(); n != 3 {
+		t.Errorf("VectorRegsUsed = %d, want 3", n)
+	}
+}
+
+func TestPrinterOutput(t *testing.T) {
+	p := NewProgram("pr")
+	p.Prfm(X(0), 64)
+	p.Lsl(X(3), X(3), 2).Comment("lda *= 4")
+	p.MovI(X(29), 7).Label("loop")
+	p.LdrQPost(V(20), X(6), 16)
+	p.Fmla(V(0), V(21), V(20), 2)
+	p.StrQ(V(0), X(11), 32)
+	p.Subs(X(29), X(29), 1).Bne("loop").Ret()
+	out := p.String()
+	for _, want := range []string{
+		"prfm pldl1keep, [x0, #64]",
+		"lsl x3, x3, #2",
+		"// lda *= 4",
+		"loop:",
+		"ldr q20, [x6], #16",
+		"fmla v0.4s, v21.4s, v20.s[2]",
+		"str q0, [x11, #32]",
+		"subs x29, x29, #1",
+		"b.ne loop",
+		"ret",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printer output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestClassTotalProperty: every opcode maps to exactly one class and the
+// class assignment is stable under round-trips.
+func TestClassTotalProperty(t *testing.T) {
+	f := func(op uint8) bool {
+		o := Op(op % uint8(numOps))
+		c := ClassOf(o)
+		return c <= ClassPrfm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

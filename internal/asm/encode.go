@@ -1,0 +1,210 @@
+package asm
+
+import "fmt"
+
+// Encode lowers the program to AArch64 machine code, one 32-bit word per
+// instruction (labels produce no word; branches are resolved to PC-
+// relative offsets). The encoder covers exactly the IR subset the
+// micro-kernel generator emits, so `cmd/autogemm-gen -bin` output can be
+// linked and executed on real Armv8 hardware. Encodings follow the Arm
+// ARM (DDI 0487); the decoder below round-trips every encodable program
+// and the tests pin known golden words.
+func (p *Program) Encode() ([]uint32, error) {
+	// First pass: assign word offsets (labels occupy none).
+	offsets := make([]int, len(p.Instrs))
+	w := 0
+	for i := range p.Instrs {
+		offsets[i] = w
+		if p.Instrs[i].Op != OpLabel {
+			w++
+		}
+	}
+	words := make([]uint32, 0, w)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op == OpLabel {
+			continue
+		}
+		word, err := p.encodeInstr(in, offsets[i], offsets)
+		if err != nil {
+			return nil, fmt.Errorf("asm: %s: instr %d (%s): %w", p.Name, i, in.Op, err)
+		}
+		words = append(words, word)
+	}
+	return words, nil
+}
+
+func (p *Program) encodeInstr(in *Instr, at int, offsets []int) (uint32, error) {
+	rd := func(r Reg) uint32 { return uint32(r.Index()) }
+	switch in.Op {
+	case OpNop:
+		return 0xD503201F, nil
+	case OpMov: // ORR Xd, XZR, Xm
+		return 0xAA0003E0 | rd(in.Src1)<<16 | rd(in.Dst), nil
+	case OpMovI: // MOVZ Xd, #imm16
+		if in.Imm < 0 || in.Imm > 0xFFFF {
+			return 0, fmt.Errorf("immediate %d exceeds MOVZ range", in.Imm)
+		}
+		return 0xD2800000 | uint32(in.Imm)<<5 | rd(in.Dst), nil
+	case OpLsl: // UBFM Xd, Xn, #(-sh mod 64), #(63-sh)
+		sh := uint32(in.Imm)
+		if sh == 0 || sh > 63 {
+			return 0, fmt.Errorf("shift %d out of range", sh)
+		}
+		immr := (64 - sh) % 64
+		imms := 63 - sh
+		return 0xD3400000 | immr<<16 | imms<<10 | rd(in.Src1)<<5 | rd(in.Dst), nil
+	case OpAdd: // ADD Xd, Xn, Xm
+		return 0x8B000000 | rd(in.Src2)<<16 | rd(in.Src1)<<5 | rd(in.Dst), nil
+	case OpAddI: // ADD Xd, Xn, #imm12
+		if in.Imm < 0 || in.Imm > 0xFFF {
+			return 0, fmt.Errorf("immediate %d exceeds ADD range", in.Imm)
+		}
+		return 0x91000000 | uint32(in.Imm)<<10 | rd(in.Src1)<<5 | rd(in.Dst), nil
+	case OpSubI: // SUB Xd, Xn, #imm12
+		if in.Imm < 0 || in.Imm > 0xFFF {
+			return 0, fmt.Errorf("immediate %d exceeds SUB range", in.Imm)
+		}
+		return 0xD1000000 | uint32(in.Imm)<<10 | rd(in.Src1)<<5 | rd(in.Dst), nil
+	case OpSubs: // SUBS Xd, Xn, #imm12
+		if in.Imm < 0 || in.Imm > 0xFFF {
+			return 0, fmt.Errorf("immediate %d exceeds SUBS range", in.Imm)
+		}
+		return 0xF1000000 | uint32(in.Imm)<<10 | rd(in.Src1)<<5 | rd(in.Dst), nil
+	case OpB, OpBne:
+		target, ok := p.labels[in.Label]
+		if !ok {
+			return 0, fmt.Errorf("undefined label %q", in.Label)
+		}
+		delta := offsets[target] - at
+		if in.Op == OpB {
+			if delta < -(1<<25) || delta >= 1<<25 {
+				return 0, fmt.Errorf("branch offset %d out of range", delta)
+			}
+			return 0x14000000 | uint32(delta)&0x03FFFFFF, nil
+		}
+		if delta < -(1<<18) || delta >= 1<<18 {
+			return 0, fmt.Errorf("conditional branch offset %d out of range", delta)
+		}
+		return 0x54000001 | (uint32(delta)&0x7FFFF)<<5, nil // cond = NE
+	case OpRet:
+		return 0xD65F03C0, nil
+	case OpLdrQ: // LDR Qt, [Xn, #imm] (unsigned offset, scaled by 16)
+		if in.Imm < 0 || in.Imm%16 != 0 || in.Imm/16 > 0xFFF {
+			return 0, fmt.Errorf("offset %d not encodable for LDR Q", in.Imm)
+		}
+		return 0x3DC00000 | uint32(in.Imm/16)<<10 | rd(in.Src1)<<5 | rd(in.Dst), nil
+	case OpLdrQPost: // LDR Qt, [Xn], #imm9
+		if in.Imm < -256 || in.Imm > 255 {
+			return 0, fmt.Errorf("post-index %d exceeds imm9", in.Imm)
+		}
+		return 0x3CC00400 | (uint32(in.Imm)&0x1FF)<<12 | rd(in.Src1)<<5 | rd(in.Dst), nil
+	case OpStrQ: // STR Qt, [Xn, #imm]
+		if in.Imm < 0 || in.Imm%16 != 0 || in.Imm/16 > 0xFFF {
+			return 0, fmt.Errorf("offset %d not encodable for STR Q", in.Imm)
+		}
+		return 0x3D800000 | uint32(in.Imm/16)<<10 | rd(in.Src1)<<5 | rd(in.Dst), nil
+	case OpStrQPost: // STR Qt, [Xn], #imm9
+		if in.Imm < -256 || in.Imm > 255 {
+			return 0, fmt.Errorf("post-index %d exceeds imm9", in.Imm)
+		}
+		return 0x3C800400 | (uint32(in.Imm)&0x1FF)<<12 | rd(in.Src1)<<5 | rd(in.Dst), nil
+	case OpFmla: // FMLA Vd.4S, Vn.4S, Vm.S[idx]
+		if in.Lane > 3 {
+			return 0, fmt.Errorf("lane %d exceeds the .4S element range", in.Lane)
+		}
+		h := uint32(in.Lane>>1) & 1
+		l := uint32(in.Lane) & 1
+		return 0x4F801000 | l<<21 | rd(in.Src2)<<16 | h<<11 | rd(in.Src1)<<5 | rd(in.Dst), nil
+	case OpVZero: // MOVI Vd.4S, #0
+		return 0x4F000400 | rd(in.Dst), nil
+	case OpPrfm: // PRFM PLDL1KEEP, [Xn, #imm] (scaled by 8)
+		if in.Imm < 0 || in.Imm%8 != 0 || in.Imm/8 > 0xFFF {
+			return 0, fmt.Errorf("offset %d not encodable for PRFM", in.Imm)
+		}
+		return 0xF9800000 | uint32(in.Imm/8)<<10 | rd(in.Src1)<<5, nil
+	default:
+		return 0, fmt.Errorf("unencodable opcode")
+	}
+}
+
+// Decode reverses Encode for the subset of words Encode produces; branch
+// targets come back as synthetic labels. It exists to validate the
+// encoder by round-trip and to disassemble binary kernels.
+func Decode(words []uint32) (*Program, error) {
+	p := NewProgram("decoded")
+	// Pre-scan for branch targets so labels land before decoding.
+	targets := map[int]string{}
+	for i, w := range words {
+		switch {
+		case w&0xFC000000 == 0x14000000: // B
+			delta := int(int32(w<<6) >> 6)
+			targets[i+delta] = fmt.Sprintf("L%d", i+delta)
+		case w&0xFF00001F == 0x54000001: // B.NE
+			delta := int(int32(w<<8) >> 13)
+			targets[i+delta] = fmt.Sprintf("L%d", i+delta)
+		}
+	}
+	for i, w := range words {
+		if name, ok := targets[i]; ok {
+			p.Label(name)
+		}
+		in, err := decodeWord(w, i, targets)
+		if err != nil {
+			return nil, fmt.Errorf("asm: word %d (%#08x): %w", i, w, err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	return p, nil
+}
+
+func decodeWord(w uint32, at int, targets map[int]string) (Instr, error) {
+	xr := func(off uint) Reg { return Reg((w >> off) & 31) }
+	vr := func(off uint) Reg { return V(int((w >> off) & 31)) }
+	switch {
+	case w == 0xD503201F:
+		return Instr{Op: OpNop}, nil
+	case w == 0xD65F03C0:
+		return Instr{Op: OpRet}, nil
+	case w&0xFFE0FFE0 == 0xAA0003E0:
+		return Instr{Op: OpMov, Dst: xr(0), Src1: xr(16)}, nil
+	case w&0xFFE00000 == 0xD2800000:
+		return Instr{Op: OpMovI, Dst: xr(0), Imm: int64((w >> 5) & 0xFFFF)}, nil
+	case w&0xFFC00000 == 0xD3400000:
+		imms := (w >> 10) & 0x3F
+		return Instr{Op: OpLsl, Dst: xr(0), Src1: xr(5), Imm: int64(63 - imms)}, nil
+	case w&0xFFE0FC00 == 0x8B000000:
+		return Instr{Op: OpAdd, Dst: xr(0), Src1: xr(5), Src2: xr(16)}, nil
+	case w&0xFFC00000 == 0x91000000:
+		return Instr{Op: OpAddI, Dst: xr(0), Src1: xr(5), Imm: int64((w >> 10) & 0xFFF)}, nil
+	case w&0xFFC00000 == 0xD1000000:
+		return Instr{Op: OpSubI, Dst: xr(0), Src1: xr(5), Imm: int64((w >> 10) & 0xFFF)}, nil
+	case w&0xFFC00000 == 0xF1000000:
+		return Instr{Op: OpSubs, Dst: xr(0), Src1: xr(5), Imm: int64((w >> 10) & 0xFFF)}, nil
+	case w&0xFC000000 == 0x14000000:
+		delta := int(int32(w<<6) >> 6)
+		return Instr{Op: OpB, Label: targets[at+delta]}, nil
+	case w&0xFF00001F == 0x54000001:
+		delta := int(int32(w<<8) >> 13)
+		return Instr{Op: OpBne, Label: targets[at+delta]}, nil
+	case w&0xFFC00000 == 0x3DC00000:
+		return Instr{Op: OpLdrQ, Dst: vr(0), Src1: xr(5), Imm: int64((w>>10)&0xFFF) * 16}, nil
+	case w&0xFFE00C00 == 0x3CC00400:
+		imm := int64(int32(w<<11) >> 23)
+		return Instr{Op: OpLdrQPost, Dst: vr(0), Src1: xr(5), Imm: imm}, nil
+	case w&0xFFC00000 == 0x3D800000:
+		return Instr{Op: OpStrQ, Dst: vr(0), Src1: xr(5), Imm: int64((w>>10)&0xFFF) * 16}, nil
+	case w&0xFFE00C00 == 0x3C800400:
+		imm := int64(int32(w<<11) >> 23)
+		return Instr{Op: OpStrQPost, Dst: vr(0), Src1: xr(5), Imm: imm}, nil
+	case w&0xFFC0F400 == 0x4F801000:
+		lane := uint8((w>>11)&1)<<1 | uint8((w>>21)&1)
+		return Instr{Op: OpFmla, Dst: vr(0), Src1: vr(5), Src2: vr(16), Lane: lane}, nil
+	case w&0xFFFFFC00 == 0x4F000400:
+		return Instr{Op: OpVZero, Dst: vr(0)}, nil
+	case w&0xFFC0001F == 0xF9800000:
+		return Instr{Op: OpPrfm, Src1: xr(5), Imm: int64((w>>10)&0xFFF) * 8}, nil
+	default:
+		return Instr{}, fmt.Errorf("unrecognized encoding")
+	}
+}

@@ -1,0 +1,133 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSFileStructure(t *testing.T) {
+	p := NewProgram("mk_2x8x4_l4")
+	p.Lsl(X(3), X(3), 2)
+	p.MovI(X(29), 2)
+	p.Label("loop")
+	p.Fmla(V(0), V(1), V(2), 0)
+	p.Subs(X(29), X(29), 1)
+	p.Bne("loop")
+	p.Ret()
+	out := p.SFile()
+	for _, want := range []string{
+		".arch armv8-a",
+		".global mk_2x8x4_l4",
+		".type mk_2x8x4_l4, %function",
+		"stp x29, x30, [sp, #-96]!",
+		"stp d8, d9",
+		".mk_2x8x4_l4_loop:",
+		"b.ne .mk_2x8x4_l4_loop",
+		"ldp d14, d15",
+		"ldp x29, x30, [sp], #96",
+		"\tret",
+		".size mk_2x8x4_l4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SFile missing %q:\n%s", want, out)
+		}
+	}
+	// Every d-register spill has a matching reload.
+	if strings.Count(out, "stp d") != strings.Count(out, "ldp d") {
+		t.Error("unbalanced SIMD spills")
+	}
+}
+
+func TestSanitizeSymbol(t *testing.T) {
+	cases := map[string]string{
+		"mk_5x16":   "mk_5x16",
+		"band k=4!": "band_k_4_",
+		"9lives":    "k9lives",
+		"":          "k",
+	}
+	for in, want := range cases {
+		if got := sanitizeSymbol(in); got != want {
+			t.Errorf("sanitizeSymbol(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHexWords(t *testing.T) {
+	p := NewProgram("h")
+	for i := 0; i < 5; i++ {
+		p.VZero(V(i))
+	}
+	p.Ret()
+	out, err := p.HexWords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, ".word") != 6 {
+		t.Errorf("want 6 words, got:\n%s", out)
+	}
+	// Unencodable program errors.
+	p2 := NewProgram("bad")
+	p2.MovI(X(0), 1<<30)
+	p2.Ret()
+	if _, err := p2.HexWords(); err == nil {
+		t.Error("unencodable program produced hex")
+	}
+}
+
+func TestDecodeRejectsUnknownWord(t *testing.T) {
+	if _, err := Decode([]uint32{0xFFFFFFFF}); err == nil {
+		t.Error("garbage word decoded")
+	}
+}
+
+func TestSVEOpsValidateAndPrint(t *testing.T) {
+	p := NewProgram("sve")
+	p.PTrue(P(0))
+	p.MovI(X(1), 3)
+	p.MovI(X(2), 7)
+	p.Whilelt(P(1), X(1), X(2))
+	p.Ld1W(V(0), P(1), X(3), 0)
+	p.St1W(V(0), P(0), X(4), 16)
+	p.Ret()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	for _, want := range []string{"ptrue p0.s", "whilelt p1.s, x1, x2", "ld1w {z0.s}, p1/z", "st1w {z0.s}, p0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVE printing missing %q in:\n%s", want, out)
+		}
+	}
+	// Bad operand classes rejected.
+	bad := NewProgram("badsve")
+	bad.Whilelt(X(0), X(1), X(2)) // dest must be a predicate
+	bad.Ret()
+	if err := bad.Validate(); err == nil {
+		t.Error("whilelt with scalar destination validated")
+	}
+	bad2 := NewProgram("badsve2")
+	bad2.Ld1W(V(0), V(1), X(2), 0) // predicate operand is a vector
+	bad2.Ret()
+	if err := bad2.Validate(); err == nil {
+		t.Error("ld1w with vector predicate validated")
+	}
+	// SVE ops are not NEON-encodable.
+	if _, err := p.Encode(); err == nil {
+		t.Error("SVE program encoded as NEON")
+	}
+}
+
+func TestPredRegisterHelpers(t *testing.T) {
+	if !P(0).IsPred() || P(15).IsPred() == false {
+		t.Error("IsPred broken")
+	}
+	if P(3).IsVector() || P(3).IsScalar() {
+		t.Error("predicate misclassified")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("P(16) should panic")
+		}
+	}()
+	P(16)
+}

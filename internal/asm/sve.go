@@ -1,0 +1,165 @@
+package asm
+
+import "fmt"
+
+// SVE predication support. The paper ports autoGEMM to A64FX by
+// substituting SVE for NEON intrinsics and lists deeper SVE optimization
+// as future work (§V-C); this extension implements the key SVE facility
+// NEON lacks — per-lane predication — so kernels can handle n-tails that
+// are not multiples of the vector width without padding. The subset
+// mirrors real SVE: WHILELT builds a predicate from loop bounds, PTRUE
+// activates all lanes, and LD1W/ST1W transfer only active lanes (loads
+// zero inactive ones). FMLA stays unpredicated, as in SVE's indexed
+// form; predicated stores discard the garbage lanes.
+
+// NumPredRegs is the SVE predicate register file size (P0..P15).
+const NumPredRegs = 16
+
+// predBase is the Reg encoding offset for predicate registers.
+const predBase = NumScalarRegs + NumVectorRegs
+
+// P returns the i-th predicate register.
+func P(i int) Reg {
+	if i < 0 || i >= NumPredRegs {
+		panic(fmt.Sprintf("asm: predicate register P%d out of range", i))
+	}
+	return Reg(predBase + i)
+}
+
+// IsPred reports whether r names a predicate register.
+func (r Reg) IsPred() bool { return r >= predBase && r < predBase+NumPredRegs }
+
+// SVE opcodes, continuing the Op space.
+const (
+	OpWhilelt Op = numOps + iota // Dst(pred) = lanes i where Src1 + i < Src2
+	OpPTrue                      // Dst(pred) = all lanes active
+	OpLd1W                       // Dst(vec) = mem[Src1 + Imm] for active lanes of Pred; others zero
+	OpSt1W                       // mem[Src1 + Imm] = Dst(vec) for active lanes of Pred
+	numSVEOps
+)
+
+// Pred returns the governing predicate of a predicated instruction (held
+// in Src2 for the memory forms).
+func (in *Instr) Pred() Reg { return in.Src2 }
+
+// Whilelt appends Dst = whilelt(idx, limit).
+func (p *Program) Whilelt(dst, idx, limit Reg) *Program {
+	return p.push(Instr{Op: OpWhilelt, Dst: dst, Src1: idx, Src2: limit})
+}
+
+// PTrue appends Dst = all-active.
+func (p *Program) PTrue(dst Reg) *Program { return p.push(Instr{Op: OpPTrue, Dst: dst}) }
+
+// Ld1W appends Dst = mem[base + off] under pred (inactive lanes zeroed).
+func (p *Program) Ld1W(dst, pred, base Reg, off int64) *Program {
+	return p.push(Instr{Op: OpLd1W, Dst: dst, Src1: base, Src2: pred, Imm: off})
+}
+
+// St1W appends mem[base + off] = src under pred.
+func (p *Program) St1W(src, pred, base Reg, off int64) *Program {
+	return p.push(Instr{Op: OpSt1W, Dst: src, Src1: base, Src2: pred, Imm: off})
+}
+
+// sveOpName names the extension opcodes.
+func sveOpName(o Op) (string, bool) {
+	switch o {
+	case OpWhilelt:
+		return "whilelt", true
+	case OpPTrue:
+		return "ptrue", true
+	case OpLd1W:
+		return "ld1w", true
+	case OpSt1W:
+		return "st1w", true
+	default:
+		return "", false
+	}
+}
+
+// sveClass classifies the extension opcodes.
+func sveClass(o Op) (Class, bool) {
+	switch o {
+	case OpWhilelt, OpPTrue:
+		return ClassALU, true
+	case OpLd1W:
+		return ClassLoad, true
+	case OpSt1W:
+		return ClassStore, true
+	default:
+		return ClassNone, false
+	}
+}
+
+// validateSVE checks the extension opcodes.
+func (p *Program) validateSVE(in *Instr) error {
+	switch in.Op {
+	case OpWhilelt:
+		if !in.Dst.IsPred() || !in.Src1.IsScalar() || !in.Src2.IsScalar() {
+			return fmt.Errorf("whilelt operands must be (pred, scalar, scalar)")
+		}
+		return nil
+	case OpPTrue:
+		if !in.Dst.IsPred() {
+			return fmt.Errorf("ptrue destination must be a predicate")
+		}
+		return nil
+	case OpLd1W, OpSt1W:
+		if !in.Dst.IsVector() {
+			return fmt.Errorf("predicated transfer data register %s is not a vector", in.Dst)
+		}
+		if !in.Src2.IsPred() {
+			return fmt.Errorf("predicated transfer needs a predicate, got %s", in.Src2)
+		}
+		if !in.Src1.IsScalar() || in.Src1 == XZR {
+			return fmt.Errorf("base %s is not addressable", in.Src1)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown SVE opcode %d", in.Op)
+	}
+}
+
+// sveReads lists register reads of the extension opcodes.
+func sveReads(in *Instr) ([]Reg, bool) {
+	switch in.Op {
+	case OpWhilelt:
+		return []Reg{in.Src1, in.Src2}, true
+	case OpPTrue:
+		return nil, true
+	case OpLd1W:
+		return []Reg{in.Src1, in.Src2}, true
+	case OpSt1W:
+		return []Reg{in.Dst, in.Src1, in.Src2}, true
+	default:
+		return nil, false
+	}
+}
+
+// sveWrites lists register writes of the extension opcodes.
+func sveWrites(in *Instr) ([]Reg, bool) {
+	switch in.Op {
+	case OpWhilelt, OpPTrue, OpLd1W:
+		return []Reg{in.Dst}, true
+	case OpSt1W:
+		return nil, true
+	default:
+		return nil, false
+	}
+}
+
+// formatSVE renders the extension opcodes.
+func formatSVE(in *Instr) (string, bool) {
+	pn := func(r Reg) string { return fmt.Sprintf("p%d", int(r)-predBase) }
+	switch in.Op {
+	case OpWhilelt:
+		return fmt.Sprintf("whilelt %s.s, %s, %s", pn(in.Dst), in.Src1, in.Src2), true
+	case OpPTrue:
+		return fmt.Sprintf("ptrue %s.s", pn(in.Dst)), true
+	case OpLd1W:
+		return fmt.Sprintf("ld1w {z%d.s}, %s/z, [%s, #%d]", in.Dst.Index(), pn(in.Src2), in.Src1, in.Imm), true
+	case OpSt1W:
+		return fmt.Sprintf("st1w {z%d.s}, %s, [%s, #%d]", in.Dst.Index(), pn(in.Src2), in.Src1, in.Imm), true
+	default:
+		return "", false
+	}
+}

@@ -1,0 +1,161 @@
+package asm
+
+import "fmt"
+
+// Validate checks structural well-formedness of a program: every branch
+// targets a defined label, operand register classes match each opcode,
+// addressing immediates are 16-byte multiples where AArch64 requires it,
+// and the program terminates with RET. The micro-kernel generator runs
+// this on every kernel it emits.
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("asm: %s: empty program", p.Name)
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if err := p.validateInstr(in); err != nil {
+			return fmt.Errorf("asm: %s: instr %d (%s): %w", p.Name, i, in.Op, err)
+		}
+	}
+	last := p.Instrs[len(p.Instrs)-1]
+	if last.Op != OpRet {
+		return fmt.Errorf("asm: %s: program does not end in ret", p.Name)
+	}
+	return nil
+}
+
+func (p *Program) validateInstr(in *Instr) error {
+	switch in.Op {
+	case OpNop, OpRet:
+		return nil
+	case OpLabel:
+		if in.Label == "" {
+			return fmt.Errorf("label without a name")
+		}
+		return nil
+	case OpB, OpBne:
+		if _, ok := p.labels[in.Label]; !ok {
+			return fmt.Errorf("branch to undefined label %q", in.Label)
+		}
+		return nil
+	case OpMov, OpLsl, OpAddI, OpSubI, OpSubs:
+		if !in.Dst.IsScalar() || !in.Src1.IsScalar() {
+			return fmt.Errorf("scalar op with non-scalar operand (%s, %s)", in.Dst, in.Src1)
+		}
+		if in.Op == OpSubs && in.Dst == XZR && in.Src1 == XZR {
+			return fmt.Errorf("subs on xzr only is useless")
+		}
+		return nil
+	case OpMovI:
+		if !in.Dst.IsScalar() {
+			return fmt.Errorf("mov immediate into non-scalar %s", in.Dst)
+		}
+		return nil
+	case OpAdd:
+		if !in.Dst.IsScalar() || !in.Src1.IsScalar() || !in.Src2.IsScalar() {
+			return fmt.Errorf("add with non-scalar operand")
+		}
+		return nil
+	case OpLdrQ, OpLdrQPost:
+		if !in.Dst.IsVector() {
+			return fmt.Errorf("vector load into scalar %s", in.Dst)
+		}
+		if !in.Src1.IsScalar() || in.Src1 == XZR {
+			return fmt.Errorf("load base %s is not an addressable register", in.Src1)
+		}
+		return nil
+	case OpStrQ, OpStrQPost:
+		if !in.Dst.IsVector() {
+			return fmt.Errorf("vector store from scalar %s", in.Dst)
+		}
+		if !in.Src1.IsScalar() || in.Src1 == XZR {
+			return fmt.Errorf("store base %s is not an addressable register", in.Src1)
+		}
+		return nil
+	case OpFmla:
+		if !in.Dst.IsVector() || !in.Src1.IsVector() || !in.Src2.IsVector() {
+			return fmt.Errorf("fmla with scalar operand")
+		}
+		return nil
+	case OpVZero:
+		if !in.Dst.IsVector() {
+			return fmt.Errorf("movi zero into scalar %s", in.Dst)
+		}
+		return nil
+	case OpPrfm:
+		if !in.Src1.IsScalar() || in.Src1 == XZR {
+			return fmt.Errorf("prefetch base %s is not an addressable register", in.Src1)
+		}
+		return nil
+	default:
+		return p.validateSVE(in)
+	}
+}
+
+// Stats summarizes the static instruction mix of a program; the generator
+// tests use it to check that optimizations change only what they should.
+type Stats struct {
+	Total    int // excluding labels
+	ALU      int
+	Loads    int
+	Stores   int
+	FMA      int
+	Prfm     int
+	Labels   int
+	Branches int
+}
+
+// CollectStats counts instructions by class.
+func (p *Program) CollectStats() Stats {
+	var s Stats
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case OpLabel:
+			s.Labels++
+			continue
+		case OpB, OpBne:
+			s.Branches++
+		}
+		s.Total++
+		switch ClassOf(in.Op) {
+		case ClassALU:
+			s.ALU++
+		case ClassLoad:
+			s.Loads++
+		case ClassStore:
+			s.Stores++
+		case ClassFMA:
+			s.FMA++
+		case ClassPrfm:
+			s.Prfm++
+		}
+	}
+	return s
+}
+
+// VectorRegsUsed returns how many distinct vector registers the program
+// touches. Table II's feasibility constraint is that this never exceeds 32.
+func (p *Program) VectorRegsUsed() int {
+	var seen [NumVectorRegs]bool
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		for _, r := range in.Reads() {
+			if r.IsVector() {
+				seen[r.Index()] = true
+			}
+		}
+		for _, r := range in.Writes() {
+			if r.IsVector() {
+				seen[r.Index()] = true
+			}
+		}
+	}
+	n := 0
+	for _, b := range seen {
+		if b {
+			n++
+		}
+	}
+	return n
+}

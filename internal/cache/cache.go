@@ -1,0 +1,215 @@
+// Package cache implements a set-associative, LRU, inclusive cache
+// hierarchy simulator. The timing machine in package sim queries it per
+// memory access to obtain load latencies; the block-level GEMM composer
+// uses its traffic counters to account for data movement between levels
+// (the quantity the paper's cache-blocking parameters m_c, n_c, k_c are
+// chosen to control).
+package cache
+
+import (
+	"fmt"
+
+	"autogemm/internal/hw"
+)
+
+// line is one cache line's tag plus an LRU stamp.
+type line struct {
+	tag   uint64
+	stamp uint64
+	valid bool
+}
+
+// level is one set-associative cache level.
+type level struct {
+	spec     hw.CacheSpec
+	sets     [][]line
+	setShift uint
+	setMask  uint64
+	clock    uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+func newLevel(spec hw.CacheSpec) *level {
+	lines := spec.SizeBytes / spec.LineBytes
+	numSets := lines / spec.Ways
+	if numSets < 1 {
+		numSets = 1
+	}
+	// Round down to a power of two so the index is a bit field.
+	for numSets&(numSets-1) != 0 {
+		numSets--
+	}
+	sets := make([][]line, numSets)
+	for i := range sets {
+		sets[i] = make([]line, spec.Ways)
+	}
+	shift := uint(0)
+	for 1<<shift < spec.LineBytes {
+		shift++
+	}
+	return &level{spec: spec, sets: sets, setShift: shift, setMask: uint64(numSets - 1)}
+}
+
+// access looks the address up, returning true on hit, and installs the
+// line on miss (allocate-on-miss for both reads and writes).
+func (l *level) access(addr uint64) bool {
+	l.clock++
+	tag := addr >> l.setShift
+	set := l.sets[tag&l.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].stamp = l.clock
+			l.Hits++
+			return true
+		}
+	}
+	l.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	set[victim] = line{tag: tag, stamp: l.clock, valid: true}
+	return false
+}
+
+// Hierarchy is a full L1/L2/L3/DRAM stack for one core, built from a chip
+// description. Shared levels are still modelled per-core here; multi-core
+// contention is applied analytically by the core scheduler.
+type Hierarchy struct {
+	chip   *hw.Chip
+	levels []*level
+
+	// DRAMReads counts lines fetched from memory; multiplied by the line
+	// size this is the DRAM traffic used for roofline and bandwidth
+	// contention modelling.
+	DRAMReads uint64
+}
+
+// NewHierarchy builds the stack for a chip.
+func NewHierarchy(chip *hw.Chip) *Hierarchy {
+	h := &Hierarchy{chip: chip}
+	for _, spec := range []hw.CacheSpec{chip.L1D, chip.L2, chip.L3} {
+		if spec.Exists() {
+			h.levels = append(h.levels, newLevel(spec))
+		}
+	}
+	return h
+}
+
+// Load performs a read of the line containing addr and returns the
+// load-to-use latency in cycles.
+func (h *Hierarchy) Load(addr uint64) int {
+	for _, l := range h.levels {
+		if l.access(addr) {
+			return l.spec.LatCycles
+		}
+	}
+	h.DRAMReads++
+	return h.chip.DRAMLatCycles
+}
+
+// Store performs a write-allocate access; stores complete through a store
+// buffer, so the returned cost is the chip's store latency regardless of
+// the hit level, but the line is installed for future loads.
+func (h *Hierarchy) Store(addr uint64) int {
+	for _, l := range h.levels {
+		if l.access(addr) {
+			return h.chip.LatStore
+		}
+	}
+	h.DRAMReads++
+	return h.chip.LatStore
+}
+
+// Prefetch warms the hierarchy without charging latency.
+func (h *Hierarchy) Prefetch(addr uint64) {
+	for _, l := range h.levels {
+		if l.access(addr) {
+			return
+		}
+	}
+	h.DRAMReads++
+}
+
+// Warm installs the byte range [addr, addr+size) into every level that
+// can hold it, emulating data already resident from a previous phase.
+func (h *Hierarchy) Warm(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	lineB := uint64(h.chip.L1D.LineBytes)
+	if lineB == 0 {
+		lineB = 64
+	}
+	for a := addr &^ (lineB - 1); a < addr+size; a += lineB {
+		hit := false
+		for _, l := range h.levels {
+			if l.access(a) {
+				hit = true
+			}
+		}
+		if !hit {
+			h.DRAMReads++
+		}
+	}
+}
+
+// Reset clears all cache state and counters.
+func (h *Hierarchy) Reset() {
+	for i, l := range h.levels {
+		nl := newLevel(l.spec)
+		h.levels[i] = nl
+	}
+	h.DRAMReads = 0
+}
+
+// Stats returns a human-readable per-level hit/miss summary.
+func (h *Hierarchy) Stats() string {
+	s := ""
+	names := []string{"L1D", "L2", "L3"}
+	for i, l := range h.levels {
+		s += fmt.Sprintf("%s: %d hits / %d misses; ", names[i], l.Hits, l.Misses)
+	}
+	s += fmt.Sprintf("DRAM lines: %d", h.DRAMReads)
+	return s
+}
+
+// LevelStats exposes hit/miss counters per level for tests.
+func (h *Hierarchy) LevelStats() [](struct{ Hits, Misses uint64 }) {
+	out := make([]struct{ Hits, Misses uint64 }, len(h.levels))
+	for i, l := range h.levels {
+		out[i] = struct{ Hits, Misses uint64 }{l.Hits, l.Misses}
+	}
+	return out
+}
+
+// ResidencyLevel reports the deepest level whose capacity covers
+// workingSet bytes (0 = L1, 1 = L2, 2 = L3, len(levels) = DRAM). The
+// analytic block model uses this to pick the sustained load latency for a
+// blocking configuration, mirroring the paper's observation that B
+// spilling out of KP920's 64 KiB L1 collapses efficiency (§V-B).
+func (h *Hierarchy) ResidencyLevel(workingSet int) int {
+	for i, l := range h.levels {
+		if workingSet <= l.spec.SizeBytes {
+			return i
+		}
+	}
+	return len(h.levels)
+}
+
+// LatencyOfLevel returns the load latency of residency level i, with
+// DRAM latency for i == len(levels).
+func (h *Hierarchy) LatencyOfLevel(i int) int {
+	if i < len(h.levels) {
+		return h.levels[i].spec.LatCycles
+	}
+	return h.chip.DRAMLatCycles
+}

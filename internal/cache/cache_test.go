@@ -1,0 +1,174 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autogemm/internal/hw"
+)
+
+func TestHitAfterMiss(t *testing.T) {
+	h := NewHierarchy(hw.KP920())
+	cold := h.Load(0x1000)
+	warm := h.Load(0x1000)
+	if cold <= warm {
+		t.Errorf("cold %d <= warm %d", cold, warm)
+	}
+	if warm != hw.KP920().L1D.LatCycles {
+		t.Errorf("warm latency %d, want L1 %d", warm, hw.KP920().L1D.LatCycles)
+	}
+}
+
+func TestSameLineSharesFill(t *testing.T) {
+	h := NewHierarchy(hw.KP920())
+	h.Load(0x2000)
+	if lat := h.Load(0x2000 + 60); lat != hw.KP920().L1D.LatCycles {
+		t.Errorf("same-line access latency %d, want L1 hit", lat)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	chip := hw.KP920() // 64 KiB L1
+	h := NewHierarchy(chip)
+	// Stream 4 MiB: far beyond L1 and L2 (512 KiB), so a second pass over
+	// the start must miss L1.
+	const span = 4 << 20
+	for a := uint64(0); a < span; a += 64 {
+		h.Load(a)
+	}
+	if lat := h.Load(0); lat <= chip.L1D.LatCycles {
+		t.Errorf("post-eviction latency %d, want above L1 %d", lat, chip.L1D.LatCycles)
+	}
+}
+
+func TestL2Residency(t *testing.T) {
+	chip := hw.KP920()
+	h := NewHierarchy(chip)
+	// A 256 KiB working set fits L2 but not L1: after a warm pass, hits
+	// should come at L2 latency.
+	const span = 256 << 10
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < span; a += 64 {
+			h.Load(a)
+		}
+	}
+	if lat := h.Load(0); lat != chip.L2.LatCycles {
+		t.Errorf("L2-resident latency %d, want %d", lat, chip.L2.LatCycles)
+	}
+}
+
+func TestWarmInstallsLines(t *testing.T) {
+	chip := hw.Graviton2()
+	h := NewHierarchy(chip)
+	h.Warm(0x8000, 4096)
+	if lat := h.Load(0x8000 + 1024); lat != chip.L1D.LatCycles {
+		t.Errorf("warmed load latency %d, want L1 hit", lat)
+	}
+	if h.DRAMReads == 0 {
+		t.Error("warming should count as DRAM traffic")
+	}
+}
+
+func TestPrefetchHidesLatency(t *testing.T) {
+	chip := hw.KP920()
+	h := NewHierarchy(chip)
+	h.Prefetch(0x4000)
+	if lat := h.Load(0x4000); lat != chip.L1D.LatCycles {
+		t.Errorf("prefetched load latency %d, want L1 hit", lat)
+	}
+}
+
+func TestDRAMTrafficCounting(t *testing.T) {
+	h := NewHierarchy(hw.Graviton2())
+	for a := uint64(0); a < 64*100; a += 64 {
+		h.Load(a)
+	}
+	if h.DRAMReads != 100 {
+		t.Errorf("DRAMReads = %d, want 100", h.DRAMReads)
+	}
+	h.Reset()
+	if h.DRAMReads != 0 {
+		t.Error("Reset did not clear traffic")
+	}
+	if lat := h.Load(0); lat != hw.Graviton2().DRAMLatCycles {
+		t.Errorf("post-reset load latency %d, want DRAM", lat)
+	}
+	// M2 fills 128-byte lines from its L2, so 64-byte strides cost one
+	// memory line per pair.
+	hm := NewHierarchy(hw.M2())
+	for a := uint64(0); a < 64*100; a += 64 {
+		hm.Load(a)
+	}
+	if hm.DRAMReads != 50 {
+		t.Errorf("M2 DRAMReads = %d, want 50 (128B lines)", hm.DRAMReads)
+	}
+}
+
+func TestResidencyLevel(t *testing.T) {
+	chip := hw.KP920()
+	h := NewHierarchy(chip)
+	cases := []struct {
+		ws   int
+		want int
+	}{
+		{32 << 10, 0},  // fits L1 (64K)
+		{256 << 10, 1}, // fits L2 (512K)
+		{8 << 20, 2},   // fits L3 (32M)
+		{64 << 20, 3},  // DRAM
+	}
+	for _, c := range cases {
+		if got := h.ResidencyLevel(c.ws); got != c.want {
+			t.Errorf("ResidencyLevel(%d) = %d, want %d", c.ws, got, c.want)
+		}
+	}
+	if h.LatencyOfLevel(0) != chip.L1D.LatCycles || h.LatencyOfLevel(3) != chip.DRAMLatCycles {
+		t.Error("LatencyOfLevel mapping wrong")
+	}
+}
+
+func TestNoL3Chip(t *testing.T) {
+	h := NewHierarchy(hw.M2()) // M2 has no L3
+	if got := h.ResidencyLevel(64 << 20); got != 2 {
+		t.Errorf("M2 ResidencyLevel(64M) = %d, want 2 (DRAM)", got)
+	}
+	h.Load(0)
+	if h.DRAMReads != 1 {
+		t.Error("M2 miss path broken")
+	}
+}
+
+// TestMonotoneLatencyProperty: for any address sequence, a repeated load
+// of the last address is never slower than its first occurrence.
+func TestMonotoneLatencyProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		h := NewHierarchy(hw.Graviton2())
+		if len(addrs) == 0 {
+			return true
+		}
+		var last uint64
+		for _, a := range addrs {
+			last = uint64(a) * 64
+			h.Load(last)
+		}
+		return h.Load(last) <= hw.Graviton2().L1D.LatCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := NewHierarchy(hw.KP920())
+	h.Load(0)
+	h.Load(0)
+	s := h.LevelStats()
+	if len(s) != 3 {
+		t.Fatalf("want 3 levels, got %d", len(s))
+	}
+	if s[0].Hits != 1 || s[0].Misses != 1 {
+		t.Errorf("L1 stats %+v", s[0])
+	}
+	if h.Stats() == "" {
+		t.Error("empty stats string")
+	}
+}

@@ -1,0 +1,347 @@
+// Package core assembles the paper's contribution into a working GEMM:
+// cache blocking (m_c, n_c, k_c), data packing (σ_packing), loop ordering
+// (σ_order), micro-tiling of each block (package tiling), and execution
+// of the generated micro-kernels (package mkernel) — both functionally
+// (numerical results via the simulator's machine) and as a cycle
+// estimate (per-band timing simulation composed over the block grid,
+// with residency-dependent load latencies, packing costs and a
+// multi-core bandwidth/topology model).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"autogemm/internal/cache"
+	"autogemm/internal/hw"
+	"autogemm/internal/mkernel"
+	"autogemm/internal/perfmodel"
+	"autogemm/internal/tiling"
+)
+
+// PackMode is σ_packing: none, online (packing inside the timed region)
+// or offline (B packed ahead of time, amortized — the LibShalom
+// comparison mode of §V-C).
+type PackMode int
+
+// Packing modes. PackAuto resolves to PackNone when the whole B matrix
+// fits L1 (the paper skips packing when N is small because the locality
+// benefit cannot repay the packing time, §IV-C2) and to PackOnline
+// otherwise.
+const (
+	PackNone PackMode = iota
+	PackOnline
+	PackOffline
+	PackAuto
+)
+
+// String implements fmt.Stringer.
+func (p PackMode) String() string {
+	switch p {
+	case PackNone:
+		return "none"
+	case PackOnline:
+		return "online"
+	case PackOffline:
+		return "offline"
+	case PackAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("pack(%d)", int(p))
+	}
+}
+
+// LoopOrder is σ_order for the three cache-block loops. The generator
+// fixes the two register-loop orders (n inner within a row band), so of
+// the paper's 5! = 120 permutations the 3! = 6 block orders remain
+// distinguishable; the others collapse onto these (see DESIGN.md).
+type LoopOrder uint8
+
+// Block loop orders, named outermost to innermost.
+const (
+	OrderMNK LoopOrder = iota
+	OrderMKN
+	OrderNMK
+	OrderNKM
+	OrderKMN
+	OrderKNM
+)
+
+// String implements fmt.Stringer.
+func (o LoopOrder) String() string {
+	names := [...]string{"MNK", "MKN", "NMK", "NKM", "KMN", "KNM"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return "?"
+}
+
+// AllLoopOrders lists the block loop orders.
+func AllLoopOrders() []LoopOrder {
+	return []LoopOrder{OrderMNK, OrderMKN, OrderNMK, OrderNKM, OrderKMN, OrderKNM}
+}
+
+// Options selects the algorithm parameters of Table III plus the
+// optimization toggles of §III-C.
+type Options struct {
+	MC, NC, KC int // cache block shape; 0 means "choose automatically"
+	Order      LoopOrder
+	Pack       PackMode
+	Rotate     bool
+	Fuse       bool
+
+	// Strategy tiles each block; nil selects DMT with the chip's params.
+	Strategy tiling.Strategy
+
+	// CallOverhead adds fixed cycles per GEMM call (library dispatch);
+	// used by the baseline library models.
+	CallOverhead int
+
+	// Cores used by cycle estimation; 0 or 1 is single-core.
+	Cores int
+
+	// ForceKCisK pins k_c = K, reproducing the paper's multi-core
+	// limitation ("TVM does not support parallelism over the K
+	// dimension", §V-C).
+	ForceKCisK bool
+}
+
+// AutoOptions returns the paper's default configuration for a chip:
+// rotation and fusion on, DMT tiling, automatic blocking, packing chosen
+// by problem size.
+func AutoOptions(chip *hw.Chip) Options {
+	return Options{Rotate: true, Fuse: true, Pack: PackAuto}
+}
+
+// Plan is a fully-resolved execution recipe for one (M, N, K) problem on
+// one chip.
+type Plan struct {
+	Chip    *hw.Chip
+	M, N, K int
+	Opts    Options
+
+	params  perfmodel.Params
+	mu      sync.Mutex
+	tilings map[[2]int]tiling.Tiling // block (m, n) -> tiling
+	cache   *mkernel.Cache
+}
+
+// NewPlan validates the problem and resolves automatic parameters.
+func NewPlan(chip *hw.Chip, m, n, k int, opts Options) (*Plan, error) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("core: invalid problem %dx%dx%d", m, n, k)
+	}
+	if chip == nil {
+		return nil, fmt.Errorf("core: nil chip")
+	}
+	p := &Plan{Chip: chip, M: m, N: n, K: k, Opts: opts,
+		params:  perfmodel.FromChip(chip),
+		tilings: make(map[[2]int]tiling.Tiling),
+		cache:   mkernel.NewCache(),
+	}
+	if p.Opts.Pack == PackAuto {
+		// Skip packing when the whole B matrix fits L1 alongside the A
+		// and C bands; otherwise pack online.
+		if k*quantUp(n, chip.Lanes)*4 <= chip.L1D.SizeBytes*3/4 {
+			p.Opts.Pack = PackNone
+		} else {
+			p.Opts.Pack = PackOnline
+		}
+	}
+	p.resolveBlocking()
+	if p.Opts.Strategy == nil {
+		p.Opts.Strategy = &tiling.DMT{Params: p.params, Opt: p.opt()}
+	}
+	return p, nil
+}
+
+func (p *Plan) opt() perfmodel.Opt {
+	return perfmodel.Opt{Rotate: p.Opts.Rotate, Fuse: p.Opts.Fuse}
+}
+
+// resolveBlocking picks m_c, n_c, k_c when unset: k_c sized so a B panel
+// (k_c × n_c) plus the A band fits L1 (Eqn 1's residency assumption),
+// m_c so the A block fits L2, following Goto's layering.
+func (p *Plan) resolveBlocking() {
+	chip := p.Chip
+	o := &p.Opts
+	lanes := chip.Lanes
+	if o.ForceKCisK {
+		o.KC = p.K
+	}
+	if o.KC <= 0 {
+		// Half of L1 for the B panel at the default n_c target.
+		target := chip.L1D.SizeBytes / 2 / 4 / 64 // elements of k per 64-wide panel
+		o.KC = clamp(target, lanes, 256)
+		if o.KC > p.K {
+			o.KC = p.K
+		}
+	}
+	if o.NC <= 0 {
+		nc := (chip.L1D.SizeBytes / 2 / 4) / max(o.KC, 1)
+		nc = nc / lanes * lanes
+		o.NC = clamp(nc, lanes, 512)
+		if o.NC > p.N {
+			o.NC = quantUp(p.N, lanes)
+		}
+	}
+	if o.MC <= 0 {
+		mc := (chip.L2.SizeBytes / 2 / 4) / max(o.KC, 1)
+		o.MC = clamp(mc, 4, 256)
+		if o.MC > p.M {
+			o.MC = p.M
+		}
+	}
+}
+
+// RestrictDMTCandidates narrows the default DMT strategy's register-tile
+// candidate set (used by the ablation experiments); it has no effect
+// when a custom strategy was supplied. Cached tilings are discarded.
+func (p *Plan) RestrictDMTCandidates(tiles []mkernel.Tile) {
+	if d, ok := p.Opts.Strategy.(*tiling.DMT); ok {
+		d.Candidates = tiles
+		p.mu.Lock()
+		p.tilings = make(map[[2]int]tiling.Tiling)
+		p.mu.Unlock()
+	}
+}
+
+// blockTiling returns (and caches) the tiling for a block shape. When
+// the plan uses the default DMT strategy, the tiler's cost model is
+// re-parameterized with the load latency of the level where this block's
+// working set actually resides (a block spilling to L2 favours different
+// tile shapes than an L1-resident one).
+func (p *Plan) blockTiling(m, n int) (tiling.Tiling, error) {
+	key := [2]int{m, n}
+	p.mu.Lock()
+	if tl, ok := p.tilings[key]; ok {
+		p.mu.Unlock()
+		return tl, nil
+	}
+	p.mu.Unlock()
+	kc := min(p.Opts.KC, p.K)
+	strat := p.Opts.Strategy
+	if d, ok := strat.(*tiling.DMT); ok {
+		lat := p.blockLoadLatency(cache.NewHierarchy(p.Chip), m, n, kc)
+		strat = &tiling.DMT{
+			Params:     d.Params.WithLoadLatency(float64(lat)),
+			Opt:        d.Opt,
+			Candidates: d.Candidates,
+		}
+	}
+	tl, err := strat.Tile(m, n, kc)
+	if err != nil {
+		return tiling.Tiling{}, err
+	}
+	if err := tl.Validate(p.Chip.Lanes); err != nil {
+		return tiling.Tiling{}, fmt.Errorf("core: strategy %s: %w", p.Opts.Strategy.Name(), err)
+	}
+	p.mu.Lock()
+	p.tilings[key] = tl
+	p.mu.Unlock()
+	return tl, nil
+}
+
+// blocks enumerates the cache-block grid in the plan's loop order.
+type blockIter struct {
+	MOff, NOff, KOff int
+	MB, NB, KB       int
+	First            bool // first k chunk for this (m, n) block: β = 0
+}
+
+func (p *Plan) blocks() []blockIter {
+	var ms, ns, ks [][2]int
+	for off := 0; off < p.M; off += p.Opts.MC {
+		ms = append(ms, [2]int{off, min(p.Opts.MC, p.M-off)})
+	}
+	for off := 0; off < p.N; off += p.Opts.NC {
+		ns = append(ns, [2]int{off, min(p.Opts.NC, p.N-off)})
+	}
+	for off := 0; off < p.K; off += p.Opts.KC {
+		ks = append(ks, [2]int{off, min(p.Opts.KC, p.K-off)})
+	}
+	var out []blockIter
+	add := func(mi, ni, ki [2]int) {
+		out = append(out, blockIter{
+			MOff: mi[0], MB: mi[1], NOff: ni[0], NB: ni[1], KOff: ki[0], KB: ki[1],
+			First: ki[0] == 0,
+		})
+	}
+	switch p.Opts.Order {
+	case OrderMNK:
+		for _, mi := range ms {
+			for _, ni := range ns {
+				for _, ki := range ks {
+					add(mi, ni, ki)
+				}
+			}
+		}
+	case OrderMKN:
+		for _, mi := range ms {
+			for _, ki := range ks {
+				for _, ni := range ns {
+					add(mi, ni, ki)
+				}
+			}
+		}
+	case OrderNMK:
+		for _, ni := range ns {
+			for _, mi := range ms {
+				for _, ki := range ks {
+					add(mi, ni, ki)
+				}
+			}
+		}
+	case OrderNKM:
+		for _, ni := range ns {
+			for _, ki := range ks {
+				for _, mi := range ms {
+					add(mi, ni, ki)
+				}
+			}
+		}
+	case OrderKMN:
+		for _, ki := range ks {
+			for _, mi := range ms {
+				for _, ni := range ns {
+					add(mi, ni, ki)
+				}
+			}
+		}
+	default: // OrderKNM
+		for _, ki := range ks {
+			for _, ni := range ns {
+				for _, mi := range ms {
+					add(mi, ni, ki)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func quantUp(n, lanes int) int { return (n + lanes - 1) / lanes * lanes }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

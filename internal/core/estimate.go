@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+
+	"autogemm/internal/asm"
+	"autogemm/internal/cache"
+	"autogemm/internal/mkernel"
+	"autogemm/internal/sim"
+)
+
+// Estimate is the projected execution profile of a plan on its chip.
+type Estimate struct {
+	Cycles     float64 // end-to-end cycles (with Cores > 1: critical path)
+	Seconds    float64
+	GFLOPS     float64
+	Efficiency float64 // fraction of the peak of the cores used
+
+	KernelCycles float64 // single-core micro-kernel work
+	PackCycles   float64
+	LaunchOver   float64
+	DRAMBytes    float64
+	MaxBandCost  float64 // largest indivisible work unit (imbalance bound)
+	Cores        int
+}
+
+// bandCostKey caches per-band timing simulations.
+type bandCostKey struct {
+	name string
+	lat  int
+}
+
+// Estimate projects the plan's runtime: every distinct band kernel is
+// executed once through the cycle simulator at the load latency implied
+// by the blocking's cache residency, and the results are composed over
+// the block grid with packing costs, launch overheads and — for
+// multi-core runs — the imbalance, synchronization and NUMA/CMG model.
+func (p *Plan) Estimate() (Estimate, error) {
+	chip := p.Chip
+	lanes := chip.Lanes
+	hier := cache.NewHierarchy(chip)
+
+	bandCache := make(map[bandCostKey]float64)
+	var est Estimate
+
+	// Distinct block shapes and their visit counts.
+	type bkey struct{ mb, nb, kb int }
+	counts := make(map[bkey]int)
+	for _, blk := range p.blocks() {
+		counts[bkey{blk.MB, blk.NB, blk.KB}]++
+	}
+
+	for key, cnt := range counts {
+		tl, err := p.blockTiling(key.mb, key.nb)
+		if err != nil {
+			return est, err
+		}
+		lat := p.blockLoadLatency(hier, key.mb, key.nb, key.kb)
+
+		blockKernel, blockLaunch := 0.0, 0.0
+		for _, bd := range panelBands(tl, lanes) {
+			var cost float64
+			if p.Opts.Fuse && totalTiles(bd.segs) > 1 {
+				cfg := mkernel.BandConfig{
+					Segments: bd.segs, KC: key.kb, Lanes: lanes,
+					Rotate: p.Opts.Rotate, Fuse: true, LoadC: true, SigmaAI: chip.SigmaAI,
+				}
+				c, err := p.bandCycles(bandCache, cfg.Name(), lat, func() (*simProg, error) {
+					prog, err := p.cache.Band(cfg)
+					if err != nil {
+						return nil, err
+					}
+					return &simProg{prog: prog, mr: bd.mr, width: bd.width(), kc: key.kb}, nil
+				})
+				if err != nil {
+					return est, err
+				}
+				cost = c
+				blockLaunch += float64(chip.LaunchCycles)
+			} else {
+				for _, seg := range bd.segs {
+					cfg := mkernel.Config{
+						Tile: seg.Tile, KC: key.kb, Lanes: lanes,
+						Rotate: p.Opts.Rotate, LoadC: true, SigmaAI: chip.SigmaAI,
+					}
+					c, err := p.bandCycles(bandCache, cfg.Name(), lat, func() (*simProg, error) {
+						prog, err := p.cache.Kernel(cfg)
+						if err != nil {
+							return nil, err
+						}
+						return &simProg{prog: prog, mr: seg.Tile.MR, width: seg.Tile.NR, kc: key.kb}, nil
+					})
+					if err != nil {
+						return est, err
+					}
+					cost += float64(seg.Count) * c
+					blockLaunch += float64(seg.Count) * float64(chip.LaunchCycles)
+				}
+			}
+			blockKernel += cost
+			if cost > est.MaxBandCost {
+				est.MaxBandCost = cost
+			}
+		}
+
+		pack, dram := p.blockTrafficCost(key.mb, key.nb, key.kb)
+		est.KernelCycles += float64(cnt) * blockKernel
+		est.LaunchOver += float64(cnt) * blockLaunch
+		est.PackCycles += float64(cnt) * pack
+		est.DRAMBytes += float64(cnt) * dram
+	}
+
+	single := est.KernelCycles + est.LaunchOver + est.PackCycles + float64(p.Opts.CallOverhead)
+	est.Cores = max(1, p.Opts.Cores)
+	est.Cycles = p.parallelCycles(single, est)
+	freqHz := chip.FreqGHz * 1e9
+	est.Seconds = est.Cycles / freqHz
+	flops := 2 * float64(p.M) * float64(p.N) * float64(p.K)
+	est.GFLOPS = flops / est.Seconds / 1e9
+	est.Efficiency = est.GFLOPS / (chip.PeakGFLOPS() * float64(est.Cores))
+	return est, nil
+}
+
+// simProg bundles a program with the shapes needed to build its scratch
+// data for one timing run.
+type simProg struct {
+	prog          *asm.Program
+	mr, width, kc int
+}
+
+// bandCycles memoizes the per-invocation cycle count of a kernel at a
+// given effective load latency by running it once through the functional
+// machine and then the timing model.
+func (p *Plan) bandCycles(memo map[bandCostKey]float64, name string, lat int,
+	build func() (*simProg, error)) (float64, error) {
+
+	key := bandCostKey{name, lat}
+	if c, ok := memo[key]; ok {
+		return c, nil
+	}
+	sp, err := build()
+	if err != nil {
+		return 0, err
+	}
+	lanes := p.Chip.Lanes
+	arena := sim.NewArena(sp.mr*sp.kc + (sp.kc+4)*(sp.width+lanes) + sp.mr*(sp.width+lanes) + 4096)
+	aAddr := arena.Alloc(sp.mr*sp.kc + 2*lanes)
+	bAddr := arena.Alloc((sp.kc + 4) * (sp.width + lanes))
+	cAddr := arena.Alloc(sp.mr * (sp.width + lanes))
+	mach := sim.NewMachine(arena, lanes)
+	mach.SetArg(0, aAddr)
+	mach.SetArg(1, bAddr)
+	mach.SetArg(2, cAddr)
+	mach.SetArg(3, int64(sp.kc))
+	mach.SetArg(4, int64(sp.width))
+	mach.SetArg(5, int64(sp.width))
+
+	model := sim.NewModel(p.Chip)
+	model.Caches = nil
+	model.AssumeLoadLat = lat
+
+	res, err := model.RunAndTime(sp.prog, mach, 1<<31)
+	if err != nil {
+		return 0, err
+	}
+	c := float64(res.Cycles)
+	memo[key] = c
+	return c, nil
+}
+
+// blockLoadLatency derives the effective micro-kernel load latency from
+// where the block's streaming working set resides: the B panel plus one
+// A band and one C band. Without packing the strided panels occupy about
+// twice the footprint in cache lines and conflict more, modelled as a
+// doubled footprint (§IV-C: packing pays off once N is large).
+func (p *Plan) blockLoadLatency(hier *cache.Hierarchy, mb, nb, kb int) int {
+	lanes := p.Chip.Lanes
+	nbQ := quantUp(nb, lanes)
+	panel := kb * nbQ * 4
+	if p.Opts.Pack == PackNone && p.N > nbQ {
+		// Strided panels occupy roughly double their size in cache lines
+		// and conflict more — but never more than the whole B matrix.
+		panel = min(2*panel, kb*quantUp(p.N, lanes)*4)
+	}
+	ws := panel + mkernel.MaxMR*kb*4 + mkernel.MaxMR*nbQ*4
+	return hier.LatencyOfLevel(hier.ResidencyLevel(ws))
+}
+
+// blockTrafficCost returns the packing cycles charged inside the timed
+// region for one block visit and the DRAM bytes it moves. Offline
+// packing moves the B panel ahead of time (bytes still count toward
+// bandwidth, cycles do not — the LibShalom accounting of §V-C).
+func (p *Plan) blockTrafficCost(mb, nb, kb int) (packCycles, dramBytes float64) {
+	chip := p.Chip
+	lanes := chip.Lanes
+	nbQ := quantUp(nb, lanes)
+	aBytes := float64(mb*kb) * 4
+	bBytes := float64(kb*nbQ) * 4
+	cBytes := float64(mb*nbQ) * 4
+
+	bwBytesPerCycle := chip.DRAMGBs / chip.FreqGHz
+	copyCost := func(bytes float64) float64 {
+		elems := bytes / 4
+		issue := elems / float64(lanes) * (1/float64(chip.LoadPorts) + 1/float64(chip.StorePorts))
+		stream := 2 * bytes / bwBytesPerCycle
+		return math.Max(issue, stream) + float64(chip.DRAMLatCycles)
+	}
+
+	switch p.Opts.Pack {
+	case PackOnline:
+		packCycles = copyCost(aBytes) + copyCost(bBytes)
+	case PackOffline:
+		packCycles = copyCost(aBytes) // only A packs in the timed region
+	}
+	// Streaming traffic: panels in once, C read+written per k chunk.
+	dramBytes = aBytes + bBytes + 2*cBytes
+	return packCycles, dramBytes
+}
+
+// parallelCycles applies the multi-core model: greedy band scheduling
+// (imbalance bounded by the largest band), the NUMA/CMG span slowdown,
+// the per-core synchronization fraction, and the socket bandwidth floor.
+func (p *Plan) parallelCycles(single float64, est Estimate) float64 {
+	chip := p.Chip
+	cores := max(1, p.Opts.Cores)
+	if cores == 1 {
+		return single
+	}
+	if cores > chip.Cores {
+		cores = chip.Cores
+	}
+	perCore := single/float64(cores) + est.MaxBandCost // greedy bound
+
+	// NUMA/CMG span slowdown, interpolated over groups in use.
+	groups := chip.NUMAGroups
+	if groups > 1 {
+		perGroup := (chip.Cores + groups - 1) / groups
+		used := (cores + perGroup - 1) / perGroup
+		if used > 1 {
+			frac := float64(used-1) / float64(groups-1)
+			perCore *= 1 + (chip.NUMACrossPenalty-1)*frac
+		}
+	}
+	perCore *= 1 + chip.SyncFrac*float64(cores-1)
+
+	bw := est.DRAMBytes / (chip.DRAMGBs / chip.FreqGHz)
+	return math.Max(perCore, bw)
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"autogemm/internal/hw"
+)
+
+// TestEstimateAgainstExact cross-validates the fast, memoized estimator
+// against the gold-standard whole-execution simulation with live caches:
+// for small L1-resident problems the two must agree within a band (the
+// fast path assumes the residency-derived fixed load latency, the exact
+// path observes compulsory misses).
+func TestEstimateAgainstExact(t *testing.T) {
+	for _, chip := range []*hw.Chip{hw.KP920(), hw.Graviton2()} {
+		for _, s := range []struct{ m, n, k int }{
+			{16, 16, 16}, {32, 32, 32}, {26, 36, 20}, {48, 24, 40},
+		} {
+			plan, err := NewPlan(chip, s.m, s.n, s.k, AutoOptions(chip))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := plan.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := plan.EstimateExact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := fast.Cycles / exact.Cycles
+			if ratio < 0.55 || ratio > 1.5 {
+				t.Errorf("%s %dx%dx%d: fast %.0f vs exact %.0f cycles (ratio %.2f)",
+					chip.Name, s.m, s.n, s.k, fast.Cycles, exact.Cycles, ratio)
+			}
+		}
+	}
+}
+
+// TestExactEfficiencyBounded: the exact estimator's efficiency also
+// stays physical.
+func TestExactEfficiencyBounded(t *testing.T) {
+	chip := hw.M2()
+	plan, err := NewPlan(chip, 40, 40, 40, AutoOptions(chip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := plan.EstimateExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Efficiency <= 0 || exact.Efficiency > 1 {
+		t.Errorf("exact efficiency %.2f out of range", exact.Efficiency)
+	}
+	if exact.KernelCycles <= 0 {
+		t.Error("exact kernel cycles empty")
+	}
+}

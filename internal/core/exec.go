@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"autogemm/internal/mkernel"
+	"autogemm/internal/sim"
+	"autogemm/internal/tiling"
+)
+
+// band is one row strip of a panel: a sequence of tiles of equal height
+// executed as a fused band kernel (or tile by tile when fusion is off).
+type band struct {
+	mr       int
+	row      int // row offset inside the block
+	firstCol int // column offset inside the block (lane-aligned)
+	segs     []mkernel.Segment
+}
+
+// width returns the band's n extent.
+func (b band) width() int {
+	w := 0
+	for _, s := range b.segs {
+		w += s.Tile.NR * s.Count
+	}
+	return w
+}
+
+// panelBands decomposes a tiling into bands, one per row strip of each
+// panel (different panels split rows differently, so banding is
+// per-panel).
+func panelBands(tl tiling.Tiling, lanes int) []band {
+	var bands []band
+	rects := tl.Rects(lanes)
+	i := 0
+	for i < len(rects) {
+		j := i
+		segs := []mkernel.Segment{}
+		cur := rects[i]
+		// Collect rects in this row with contiguous columns and equal MR.
+		col := cur.Col
+		for j < len(rects) && rects[j].Row == cur.Row && rects[j].Tile.MR == cur.Tile.MR && rects[j].Col == col {
+			t := rects[j].Tile
+			if n := len(segs); n > 0 && segs[n-1].Tile == t {
+				segs[n-1].Count++
+			} else {
+				segs = append(segs, mkernel.Segment{Tile: t, Count: 1})
+			}
+			col += t.NR
+			j++
+		}
+		bands = append(bands, band{mr: cur.Tile.MR, row: cur.Row, firstCol: cur.Col, segs: segs})
+		i = j
+	}
+	return bands
+}
+
+// Run computes C += A·B functionally through the generated kernels,
+// following the plan's blocking, packing, loop order and tiling. A, B
+// and C are row-major with leading dimensions K, N and N. This is the
+// verification path; Estimate projects its runtime on the target chip.
+func (p *Plan) Run(c, a, b []float32) error {
+	m, n, k := p.M, p.N, p.K
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		return fmt.Errorf("core: buffer sizes (%d,%d,%d) too small for %dx%dx%d",
+			len(a), len(b), len(c), m, n, k)
+	}
+	lanes := p.Chip.Lanes
+
+	// One arena holds the user matrices plus packing buffers. Generous
+	// slack absorbs the documented kernel over-reads.
+	arena := sim.NewArena(m*k + k*n + m*n + 4*(p.Opts.MC+8)*(p.Opts.KC+8) + 1<<12)
+	aAddr := arena.Alloc(m*k + 2*lanes)
+	bAddr := arena.Alloc(k*n + 2*n + 2*lanes)
+	cAddr := arena.Alloc(m*n + 2*lanes)
+	copy(arena.Slice(aAddr, m*k), a[:m*k])
+	copy(arena.Slice(bAddr, k*n), b[:k*n])
+	copy(arena.Slice(cAddr, m*n), c[:m*n])
+
+	// Packing and C-block buffers, sized for the largest block.
+	mcMax, ncMax, kcMax := p.Opts.MC, quantUp(p.Opts.NC, lanes), p.Opts.KC
+	packA := arena.Alloc(mcMax*kcMax + 2*lanes)
+	packB := arena.Alloc((kcMax+2)*(ncMax+mkernel.MaxNROverhang(lanes)) + 2*lanes)
+	cBufLD := ncMax + mkernel.MaxNROverhang(lanes)
+	cBuf := arena.Alloc((mcMax + mkernel.MaxMR) * cBufLD)
+
+	mach := sim.NewMachine(arena, lanes)
+
+	for _, blk := range p.blocks() {
+		if err := p.runBlock(mach, arena, blk, aAddr, bAddr, cAddr, packA, packB, cBuf, cBufLD); err != nil {
+			return err
+		}
+	}
+	copy(c[:m*n], arena.Slice(cAddr, m*n))
+	return nil
+}
+
+// runBlock executes one cache block: pack, tile, run bands, unpack C.
+func (p *Plan) runBlock(mach *sim.Machine, arena *sim.Arena, blk blockIter,
+	aAddr, bAddr, cAddr, packA, packB, cBuf int64, cBufLD int) error {
+
+	lanes := p.Chip.Lanes
+	n := p.N
+	k := p.K
+	nbQ := quantUp(blk.NB, lanes)
+
+	tl, err := p.blockTiling(blk.MB, blk.NB)
+	if err != nil {
+		return err
+	}
+
+	// Resolve A and B bases and leading dimensions per packing mode.
+	var aBase int64
+	var lda int
+	if p.Opts.Pack == PackNone {
+		aBase = aAddr + int64((blk.MOff*k+blk.KOff)*4)
+		lda = k
+	} else {
+		src := arena.Slice(aAddr, p.M*k)
+		dst := arena.Slice(packA, blk.MB*blk.KB)
+		for i := 0; i < blk.MB; i++ {
+			copy(dst[i*blk.KB:(i+1)*blk.KB], src[(blk.MOff+i)*k+blk.KOff:])
+		}
+		aBase, lda = packA, blk.KB
+	}
+	var bBase int64
+	var ldb int
+	if p.Opts.Pack == PackNone {
+		bBase = bAddr + int64((blk.KOff*n+blk.NOff)*4)
+		ldb = n
+	} else {
+		src := arena.Slice(bAddr, k*n)
+		ldbP := nbQ + mkernel.MaxNROverhang(lanes)
+		dst := arena.Slice(packB, (blk.KB+2)*ldbP)
+		for i := range dst {
+			dst[i] = 0
+		}
+		for r := 0; r < blk.KB; r++ {
+			copy(dst[r*ldbP:r*ldbP+blk.NB], src[(blk.KOff+r)*n+blk.NOff:(blk.KOff+r)*n+blk.NOff+blk.NB])
+		}
+		bBase, ldb = packB, ldbP
+	}
+
+	// Copy the C block into the padded buffer.
+	{
+		src := arena.Slice(cAddr, p.M*n)
+		dst := arena.Slice(cBuf, (p.Opts.MC+mkernel.MaxMR)*cBufLD)
+		for i := range dst {
+			dst[i] = 0
+		}
+		for i := 0; i < blk.MB; i++ {
+			copy(dst[i*cBufLD:i*cBufLD+blk.NB], src[(blk.MOff+i)*n+blk.NOff:(blk.MOff+i)*n+blk.NOff+blk.NB])
+		}
+	}
+
+	for _, bd := range panelBands(tl, lanes) {
+		aArg := aBase + int64(bd.row*lda*4)
+		bArg := bBase + int64(bd.firstCol*4)
+		cArg := cBuf + int64((bd.row*cBufLD+bd.firstCol)*4)
+		if err := p.runBand(mach, bd, blk.KB, aArg, bArg, cArg, lda, ldb, cBufLD); err != nil {
+			return err
+		}
+	}
+
+	// Copy the useful region of the C buffer back.
+	src := arena.Slice(cBuf, (p.Opts.MC+mkernel.MaxMR)*cBufLD)
+	dst := arena.Slice(cAddr, p.M*n)
+	for i := 0; i < blk.MB; i++ {
+		copy(dst[(blk.MOff+i)*n+blk.NOff:(blk.MOff+i)*n+blk.NOff+blk.NB], src[i*cBufLD:i*cBufLD+blk.NB])
+	}
+	return nil
+}
+
+// runBand executes one band, fused or tile-by-tile.
+func (p *Plan) runBand(mach *sim.Machine, bd band, kc int, aArg, bArg, cArg int64, lda, ldb, ldc int) error {
+	if p.Opts.Fuse && totalTiles(bd.segs) > 1 {
+		prog, err := p.cache.Band(mkernel.BandConfig{
+			Segments: bd.segs, KC: kc, Lanes: p.Chip.Lanes,
+			Rotate: p.Opts.Rotate, Fuse: true, LoadC: true, SigmaAI: p.Chip.SigmaAI,
+		})
+		if err != nil {
+			return err
+		}
+		mach.SetArg(0, aArg)
+		mach.SetArg(1, bArg)
+		mach.SetArg(2, cArg)
+		mach.SetArg(3, int64(lda))
+		mach.SetArg(4, int64(ldb))
+		mach.SetArg(5, int64(ldc))
+		return mach.Run(prog, 1<<31)
+	}
+	colOff := int64(0)
+	for _, seg := range bd.segs {
+		for i := 0; i < seg.Count; i++ {
+			prog, err := p.cache.Kernel(mkernel.Config{
+				Tile: seg.Tile, KC: kc, Lanes: p.Chip.Lanes,
+				Rotate: p.Opts.Rotate, LoadC: true, SigmaAI: p.Chip.SigmaAI,
+			})
+			if err != nil {
+				return err
+			}
+			mach.SetArg(0, aArg)
+			mach.SetArg(1, bArg+colOff)
+			mach.SetArg(2, cArg+colOff)
+			mach.SetArg(3, int64(lda))
+			mach.SetArg(4, int64(ldb))
+			mach.SetArg(5, int64(ldc))
+			if err := mach.Run(prog, 1<<31); err != nil {
+				return err
+			}
+			colOff += int64(seg.Tile.NR) * 4
+		}
+	}
+	return nil
+}
+
+func totalTiles(segs []mkernel.Segment) int {
+	n := 0
+	for _, s := range segs {
+		n += s.Count
+	}
+	return n
+}

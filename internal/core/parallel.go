@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"autogemm/internal/mkernel"
+	"autogemm/internal/sim"
+)
+
+// RunParallel is Run with the block grid executed by worker goroutines —
+// the functional counterpart of the multi-core scheduling the Estimate
+// path models. Different (m, n) blocks touch disjoint C regions, so they
+// run concurrently; the k chunks of one block accumulate in order within
+// a single worker. workers <= 0 uses GOMAXPROCS.
+func (p *Plan) RunParallel(c, a, b []float32, workers int) error {
+	m, n, k := p.M, p.N, p.K
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		return fmt.Errorf("core: buffer sizes (%d,%d,%d) too small for %dx%dx%d",
+			len(a), len(b), len(c), m, n, k)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Group the block iteration by (m, n) tile of C, keeping each
+	// group's k chunks in ascending order.
+	type group struct {
+		blocks []blockIter
+	}
+	index := make(map[[2]int]int)
+	var groups []group
+	for _, blk := range p.blocks() {
+		key := [2]int{blk.MOff, blk.NOff}
+		gi, ok := index[key]
+		if !ok {
+			gi = len(groups)
+			index[key] = gi
+			groups = append(groups, group{})
+		}
+		groups[gi].blocks = append(groups[gi].blocks, blk)
+	}
+	for _, g := range groups {
+		for i := 1; i < len(g.blocks); i++ {
+			if g.blocks[i].KOff < g.blocks[i-1].KOff {
+				// The chosen loop order interleaves k; restore chunk order
+				// within the group (accumulation is order-sensitive only
+				// in rounding, but keep it deterministic).
+				blocks := g.blocks
+				for a := 1; a < len(blocks); a++ {
+					for b := a; b > 0 && blocks[b].KOff < blocks[b-1].KOff; b-- {
+						blocks[b], blocks[b-1] = blocks[b-1], blocks[b]
+					}
+				}
+				break
+			}
+		}
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	lanes := p.Chip.Lanes
+	arena := sim.NewArena(m*k + k*n + m*n + 1<<12)
+	aAddr := arena.Alloc(m*k + 2*lanes)
+	bAddr := arena.Alloc(k*n + 2*n + 2*lanes)
+	cAddr := arena.Alloc(m*n + 2*lanes)
+	copy(arena.Slice(aAddr, m*k), a[:m*k])
+	copy(arena.Slice(bAddr, k*n), b[:k*n])
+	copy(arena.Slice(cAddr, m*n), c[:m*n])
+
+	// Per-worker scratch buffers, all reserved before any goroutine runs
+	// (the arena may grow only during Alloc).
+	mcMax, ncMax, kcMax := p.Opts.MC, quantUp(p.Opts.NC, lanes), p.Opts.KC
+	cBufLD := ncMax + mkernel.MaxNROverhang(lanes)
+	type scratch struct {
+		packA, packB, cBuf int64
+	}
+	scratches := make([]scratch, workers)
+	for i := range scratches {
+		scratches[i] = scratch{
+			packA: arena.Alloc(mcMax*kcMax + 2*lanes),
+			packB: arena.Alloc((kcMax + 2) * (ncMax + mkernel.MaxNROverhang(lanes))),
+			cBuf:  arena.Alloc((mcMax + mkernel.MaxMR) * cBufLD),
+		}
+	}
+
+	work := make(chan group)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mach := sim.NewMachine(arena, lanes)
+			sc := scratches[w]
+			for g := range work {
+				if errs[w] != nil {
+					continue // keep draining so the sender never blocks
+				}
+				for _, blk := range g.blocks {
+					if err := p.runBlock(mach, arena, blk, aAddr, bAddr, cAddr,
+						sc.packA, sc.packB, sc.cBuf, cBufLD); err != nil {
+						errs[w] = err
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	for _, g := range groups {
+		work <- g
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	copy(c[:m*n], arena.Slice(cAddr, m*n))
+	return nil
+}

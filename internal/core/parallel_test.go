@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"autogemm/internal/hw"
+	"autogemm/internal/refgemm"
+)
+
+// TestRunParallelMatchesReference: parallel execution equals the
+// reference across worker counts and loop orders.
+func TestRunParallelMatchesReference(t *testing.T) {
+	chip := hw.KP920()
+	const m, n, k = 50, 70, 40
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, order := range []LoopOrder{OrderMNK, OrderKNM} {
+			opts := Options{MC: 16, NC: 20, KC: 12, Order: order,
+				Pack: PackOnline, Rotate: true, Fuse: true}
+			plan, err := NewPlan(chip, m, n, k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := make([]float32, m*k)
+			b := make([]float32, k*n)
+			c := make([]float32, m*n)
+			refgemm.Fill(a, m, k, k, 31)
+			refgemm.Fill(b, k, n, n, 32)
+			refgemm.Fill(c, m, n, n, 33)
+			want := make([]float32, m*n)
+			copy(want, c)
+			refgemm.GEMM(m, n, k, a, k, b, n, want, n)
+			if err := plan.RunParallel(c, a, b, workers); err != nil {
+				t.Fatalf("workers=%d order=%v: %v", workers, order, err)
+			}
+			if e := refgemm.MaxRelErr(c, want, m, n, n, n); e > refgemm.Tolerance {
+				t.Errorf("workers=%d order=%v: max rel err %.3g", workers, order, e)
+			}
+		}
+	}
+}
+
+// TestRunParallelSharedPlan: one plan driven concurrently by many Run
+// calls stays correct (the engine's plan cache relies on this).
+func TestRunParallelSharedPlan(t *testing.T) {
+	chip := hw.Graviton2()
+	const m, n, k = 24, 28, 16
+	plan, err := NewPlan(chip, m, n, k, AutoOptions(chip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 6
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(seed uint64) {
+			a := make([]float32, m*k)
+			b := make([]float32, k*n)
+			c := make([]float32, m*n)
+			refgemm.Fill(a, m, k, k, seed)
+			refgemm.Fill(b, k, n, n, seed+1)
+			want := make([]float32, m*n)
+			refgemm.GEMM(m, n, k, a, k, b, n, want, n)
+			if err := plan.Run(c, a, b); err != nil {
+				errCh <- err
+				return
+			}
+			if e := refgemm.MaxRelErr(c, want, m, n, n, n); e > refgemm.Tolerance {
+				errCh <- &parallelErr{e}
+				return
+			}
+			errCh <- nil
+		}(uint64(g * 100))
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type parallelErr struct{ e float64 }
+
+func (p *parallelErr) Error() string { return "parallel result mismatch" }
+
+// TestRunParallelValidation rejects bad buffers.
+func TestRunParallelValidation(t *testing.T) {
+	chip := hw.KP920()
+	plan, _ := NewPlan(chip, 8, 8, 8, AutoOptions(chip))
+	small := make([]float32, 4)
+	if err := plan.RunParallel(small, small, small, 2); err == nil {
+		t.Error("undersized buffers accepted")
+	}
+}

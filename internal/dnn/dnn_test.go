@@ -1,0 +1,86 @@
+package dnn
+
+import (
+	"testing"
+
+	"autogemm/internal/baselines"
+	"autogemm/internal/hw"
+	"autogemm/internal/workload"
+)
+
+// TestFig12Speedups: replacing OpenBLAS with autoGEMM inside the
+// framework speeds up every model; KP920 shows the largest gains (the
+// paper reports 1.30x there and 1.08–1.15x on Graviton2).
+func TestFig12Speedups(t *testing.T) {
+	auto := baselines.AutoGEMM()
+	kp := New(hw.KP920(), 1)
+	g2 := New(hw.Graviton2(), 1)
+	for _, model := range workload.Models() {
+		skp, err := kp.Speedup(model, auto)
+		if err != nil {
+			t.Fatalf("%s on KP920: %v", model.Name, err)
+		}
+		sg2, err := g2.Speedup(model, auto)
+		if err != nil {
+			t.Fatalf("%s on Graviton2: %v", model.Name, err)
+		}
+		if skp < 1.05 || skp > 2.2 {
+			t.Errorf("%s KP920 end-to-end speedup %.2fx out of the Fig 12 band", model.Name, skp)
+		}
+		if sg2 < 1.0 || sg2 > 1.8 {
+			t.Errorf("%s Graviton2 end-to-end speedup %.2fx out of band", model.Name, sg2)
+		}
+	}
+}
+
+// TestOtherTimeIdentical: T_other is the same whichever GEMM backend is
+// plugged in (Fig 12's framing).
+func TestOtherTimeIdentical(t *testing.T) {
+	e := New(hw.KP920(), 1)
+	model := workload.Models()[0]
+	a, err := e.Run(model, baselines.OpenBLAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(model, baselines.AutoGEMM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OtherSeconds != b.OtherSeconds {
+		t.Errorf("T_other differs across backends: %g vs %g", a.OtherSeconds, b.OtherSeconds)
+	}
+	if b.GEMMSeconds >= a.GEMMSeconds {
+		t.Errorf("autoGEMM T_GEMM (%g) not below OpenBLAS (%g)", b.GEMMSeconds, a.GEMMSeconds)
+	}
+	if a.Total() <= a.GEMMSeconds {
+		t.Error("total should include T_other")
+	}
+}
+
+// TestGEMMSecondsPositive: every model produces a positive GEMM time and
+// unsupported providers error out.
+func TestGEMMSecondsPositive(t *testing.T) {
+	e := New(hw.M2(), 1)
+	for _, model := range workload.Models() {
+		s, err := e.GEMMSeconds(model, baselines.AutoGEMM())
+		if err != nil {
+			t.Fatalf("%s: %v", model.Name, err)
+		}
+		if s <= 0 {
+			t.Errorf("%s: non-positive GEMM time", model.Name)
+		}
+	}
+	if _, err := e.GEMMSeconds(workload.Models()[0], baselines.LibShalom()); err == nil {
+		t.Error("LibShalom on M2 should be unsupported")
+	}
+}
+
+// TestDefaultCores: New clamps non-positive core counts to one.
+func TestDefaultCores(t *testing.T) {
+	if New(hw.KP920(), 0).Cores != 1 || New(hw.KP920(), -3).Cores != 1 {
+		t.Error("core clamping broken")
+	}
+	if New(hw.KP920(), 4).Cores != 4 {
+		t.Error("explicit cores ignored")
+	}
+}

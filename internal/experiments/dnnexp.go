@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"autogemm/internal/baselines"
+	"autogemm/internal/dnn"
+	"autogemm/internal/hw"
+	"autogemm/internal/workload"
+)
+
+// Fig12 regenerates the end-to-end DNN evaluation: the four networks
+// (ResNet50, Inception-V3, MobileNet-V1, SqueezeNet) run through the
+// TNN-substitute framework with OpenBLAS and autoGEMM GEMM backends on
+// KP920 and Graviton2, reporting the T_GEMM / T_other split normalized
+// to the OpenBLAS total and the end-to-end speedup.
+func Fig12() (Table, error) {
+	t := Table{ID: "fig12", Title: "End-to-end DNN inference (normalized to OpenBLAS total)",
+		Header: []string{"chip", "model", "backend", "T_GEMM", "T_other", "total", "speedup"}}
+	for _, chip := range []*hw.Chip{hw.KP920(), hw.Graviton2()} {
+		engine := dnn.New(chip, 1)
+		for _, model := range workload.Models() {
+			base, err := engine.Run(model, baselines.OpenBLAS())
+			if err != nil {
+				return t, err
+			}
+			with, err := engine.Run(model, baselines.AutoGEMM())
+			if err != nil {
+				return t, err
+			}
+			norm := base.Total()
+			t.Add(chip.Name, model.Name, "OpenBLAS",
+				base.GEMMSeconds/norm, base.OtherSeconds/norm, 1.0, 1.0)
+			t.Add(chip.Name, model.Name, "autoGEMM",
+				with.GEMMSeconds/norm, with.OtherSeconds/norm, with.Total()/norm, norm/with.Total())
+		}
+	}
+	t.Note("paper: 1.30x end-to-end on KP920 across all four models; 1.08-1.15x on Graviton2")
+	return t, nil
+}

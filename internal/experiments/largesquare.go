@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"autogemm/internal/baselines"
+	"autogemm/internal/hw"
+)
+
+// LargeSquare checks the regime the paper does NOT optimize for: large
+// square GEMM, where classic Goto-blocked libraries are already
+// near-optimal (§I: "dense and large-squared GEMM is well-studied").
+// autoGEMM should remain competitive but its advantage must shrink as
+// the matrices grow — the paper itself reports LibShalom overtaking it
+// at 128³ on KP920 thanks to hand-written prefetching.
+func LargeSquare() (Table, error) {
+	chip := hw.KP920()
+	t := Table{ID: "large-square",
+		Title:  "Large square GEMM: where the classic libraries catch up (KP920, GFLOPS)",
+		Header: []string{"size", "OpenBLAS", "LibShalom", "autoGEMM", "auto/OpenBLAS"}}
+	ob := baselines.OpenBLAS()
+	ls := baselines.LibShalom()
+	auto := baselines.AutoGEMM()
+	for _, s := range []int{32, 64, 128, 192, 256, 384} {
+		obE, err := ob.Estimate(chip, s, s, s)
+		if err != nil {
+			return t, err
+		}
+		lsE, err := ls.Estimate(chip, s, s, s)
+		if err != nil {
+			return t, err
+		}
+		autoE, err := auto.Estimate(chip, s, s, s)
+		if err != nil {
+			return t, err
+		}
+		t.Add(s, obE.GFLOPS, lsE.GFLOPS, autoE.GFLOPS, autoE.GFLOPS/obE.GFLOPS)
+	}
+	t.Note("the small-GEMM advantage (call overhead, padding, fusion) amortizes away with size")
+	t.Note("model limitation: the simulator has no hardware prefetcher, so OpenBLAS's " +
+		"large fixed panels (streamed from L2 at full speed on real chips) pay raw L2 latency " +
+		"here — its large-square plateau is pessimistic; LibShalom and autoGEMM, whose blocking " +
+		"keeps panels L1-resident, are unaffected")
+	return t, nil
+}

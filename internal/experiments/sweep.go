@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autogemm/internal/baselines"
+	"autogemm/internal/core"
+	"autogemm/internal/hw"
+	"autogemm/internal/workload"
+)
+
+// TableI regenerates the efficiency summary of Table I: every library on
+// the small (64³) and irregular (256×3136×64) reference shapes, KP920.
+func TableI() (Table, error) {
+	chip := hw.KP920()
+	t := Table{ID: "table1", Title: "Library efficiency summary (KP920)",
+		Header: []string{"library", "small 64^3 (%)", "irregular 256x3136x64 (%)"}}
+	for _, p := range baselines.All() {
+		small := "N/A"
+		if p.Supports(chip, 64, 64, 64) {
+			est, err := p.Estimate(chip, 64, 64, 64)
+			if err != nil {
+				return t, err
+			}
+			small = fmt.Sprintf("%.1f", est.Efficiency*100)
+		}
+		irr := "N/A"
+		if p.Supports(chip, 256, 3136, 64) {
+			est, err := p.Estimate(chip, 256, 3136, 64)
+			if err != nil {
+				return t, err
+			}
+			irr = fmt.Sprintf("%.1f", est.Efficiency*100)
+		}
+		t.Add(p.Name, small, irr)
+	}
+	t.Note("paper row: OpenBLAS 35/47, Eigen 50/49, LibShalom 95/86, FastConv 58/79, LIBXSMM 68/NA, TVM 78/72, ours 98/91")
+	return t, nil
+}
+
+// Fig6 regenerates the step-wise pipeline-optimization evaluation on
+// KP920, Graviton2 and M2: basic generated kernel, plus rotating
+// register allocation, plus epilogue–prologue fusion, across the Fig 6
+// shape sweep (growing K at M=N=64, blocking pinned to the matrix so the
+// K=256 point exposes the KP920 L1 cliff).
+func Fig6() (Table, error) {
+	t := Table{ID: "fig6", Title: "Step-wise pipeline optimization (efficiency %)",
+		Header: []string{"chip", "MxNxK", "basic", "+rotate", "+fuse", "fuse-gain%"}}
+	steps := []core.Options{
+		{Pack: core.PackAuto},
+		{Pack: core.PackAuto, Rotate: true},
+		{Pack: core.PackAuto, Rotate: true, Fuse: true},
+	}
+	for _, chip := range []*hw.Chip{hw.KP920(), hw.Graviton2(), hw.M2()} {
+		for _, s := range workload.StepSweep() {
+			var eff [3]float64
+			for i, base := range steps {
+				opts := base
+				opts.MC, opts.NC = s.M, s.N
+				opts.ForceKCisK = true
+				plan, err := core.NewPlan(chip, s.M, s.N, s.K, opts)
+				if err != nil {
+					return t, err
+				}
+				est, err := plan.Estimate()
+				if err != nil {
+					return t, err
+				}
+				eff[i] = est.Efficiency * 100
+			}
+			t.Add(chip.Name, s.String(), eff[0], eff[1], eff[2], 100*(eff[2]-eff[1])/eff[1])
+		}
+	}
+	t.Note("paper: fusion gains 17.3/15.8/16.7%% at K=4; KP920 efficiency collapses K=64→256 at N=64 (L1 cliff)")
+	return t, nil
+}
+
+// Fig8 regenerates the small-GEMM single-core comparison: every library
+// across the cubic sweep on all five chips. LibShalom appears only where
+// N and K are divisible by 8 and never on M2/A64FX; SSL2 only on A64FX.
+func Fig8() (Table, error) {
+	t := Table{ID: "fig8", Title: "Small GEMM, single core (GFLOPS)",
+		Header: []string{"chip", "size", "OpenBLAS", "Eigen", "LibShalom", "FastConv", "LIBXSMM", "TVM", "SSL2", "autoGEMM"}}
+	providers := []baselines.Provider{
+		baselines.OpenBLAS(), baselines.Eigen(), baselines.LibShalom(),
+		baselines.FastConv(), baselines.LIBXSMM(), baselines.TVMGeneric(),
+		baselines.SSL2(), baselines.AutoGEMM(),
+	}
+	for _, chip := range hw.All() {
+		for _, s := range workload.SmallSweep() {
+			row := []interface{}{chip.Name, s.M}
+			for _, p := range providers {
+				if !p.Supports(chip, s.M, s.N, s.K) {
+					row = append(row, "-")
+					continue
+				}
+				est, err := p.Estimate(chip, s.M, s.N, s.K)
+				if err != nil {
+					return t, err
+				}
+				row = append(row, est.GFLOPS)
+			}
+			t.Add(row...)
+		}
+	}
+	t.Note("paper: autoGEMM 1.5-2.0x over LIBXSMM/LibShalom for sizes ≤ 24, near-peak from 64 up")
+	return t, nil
+}

@@ -1,0 +1,146 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIVParameters(t *testing.T) {
+	// Spot-check the values fixed by Table IV of the paper.
+	cases := []struct {
+		chip  *Chip
+		cores int
+		freq  float64
+		lanes int
+		l1    int
+	}{
+		{KP920(), 8, 2.6, 4, 64 << 10},
+		{Graviton2(), 16, 2.5, 4, 64 << 10},
+		{Altra(), 70, 3.0, 4, 64 << 10},
+		{M2(), 4, 3.49, 4, 128 << 10},
+		{A64FX(), 48, 2.2, 16, 64 << 10},
+	}
+	for _, c := range cases {
+		if c.chip.Cores != c.cores || c.chip.FreqGHz != c.freq ||
+			c.chip.Lanes != c.lanes || c.chip.L1D.SizeBytes != c.l1 {
+			t.Errorf("%s: parameters diverge from Table IV: %+v", c.chip.Name, c.chip)
+		}
+	}
+}
+
+func TestPeakGFLOPS(t *testing.T) {
+	// KP920: 2 FMA pipes × 4 lanes × 2 flops × 2.6 GHz = 41.6 GF/s/core.
+	if got := KP920().PeakGFLOPS(); math.Abs(got-41.6) > 1e-9 {
+		t.Errorf("KP920 peak %g, want 41.6", got)
+	}
+	// A64FX: 2 × 16 × 2 × 2.2 = 140.8 GF/s/core (SVE-512 single precision).
+	if got := A64FX().PeakGFLOPS(); math.Abs(got-140.8) > 1e-9 {
+		t.Errorf("A64FX peak %g, want 140.8", got)
+	}
+	if got := A64FX().PeakGFLOPSAllCores(); math.Abs(got-140.8*48) > 1e-6 {
+		t.Errorf("A64FX socket peak %g", got)
+	}
+}
+
+func TestSigmaAIOrdering(t *testing.T) {
+	// The paper's narrative: Graviton2 and M2 have low σ_AI (easy to reach
+	// peak), KP920 high, A64FX the highest (Fig 2's four hardware lines).
+	if !(M2().SigmaAI <= Graviton2().SigmaAI &&
+		Graviton2().SigmaAI < KP920().SigmaAI &&
+		KP920().SigmaAI < A64FX().SigmaAI) {
+		t.Error("σ_AI ordering diverges from the paper's Fig 2 narrative")
+	}
+}
+
+func TestRotationRelevantWindows(t *testing.T) {
+	// Rotating register allocation helps KP920 (no renaming of WAR) but
+	// not Graviton2/M2 (§V-B trend 1).
+	if KP920().RenameWAR {
+		t.Error("KP920 should expose WAR hazards")
+	}
+	if !Graviton2().RenameWAR || !M2().RenameWAR {
+		t.Error("Graviton2/M2 should rename away WAR hazards")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"KP920", "Graviton2", "Altra", "M2", "A64FX", "Didactic"} {
+		c, err := ByName(name)
+		if err != nil || c.Name != name {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("Xeon"); err == nil {
+		t.Error("ByName accepted an unknown chip")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d chips", len(all))
+	}
+	want := []string{"KP920", "Graviton2", "Altra", "M2", "A64FX"}
+	for i, c := range all {
+		if c.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s (Table IV order)", i, c.Name, want[i])
+		}
+	}
+}
+
+func TestVecBytesAndString(t *testing.T) {
+	if A64FX().VecBytes() != 64 || KP920().VecBytes() != 16 {
+		t.Error("vector widths wrong")
+	}
+	if KP920().String() == "" {
+		t.Error("empty String()")
+	}
+	if !A64FX().SVE || KP920().SVE {
+		t.Error("SVE flags wrong")
+	}
+}
+
+func TestNUMATopology(t *testing.T) {
+	if A64FX().NUMAGroups != 4 {
+		t.Error("A64FX should have 4 CMGs")
+	}
+	if Altra().NUMAGroups != 2 {
+		t.Error("Altra should have 2 NUMA sockets")
+	}
+	if A64FX().NUMACrossPenalty <= Altra().NUMACrossPenalty {
+		t.Error("A64FX ring-bus penalty should exceed Altra's")
+	}
+}
+
+func TestCacheSpecExists(t *testing.T) {
+	if M2().L3.Exists() {
+		t.Error("M2 has no L3 (Table IV)")
+	}
+	if !KP920().L3.Exists() || !KP920().L3.Shared {
+		t.Error("KP920 L3 is 32M shared (Table IV)")
+	}
+	if !A64FX().L2.Shared {
+		t.Error("A64FX L2 is CMG-shared")
+	}
+}
+
+func TestGraviton3(t *testing.T) {
+	g3, err := ByName("Graviton3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g3.SVE || g3.Lanes != 8 {
+		t.Error("Graviton3 should be 256-bit SVE (8 float32 lanes)")
+	}
+	// §III-A says σ_lane is 16 for "SVE-supporting architectures like
+	// A64FX and Graviton3" at 512 bits; Graviton3's SVE is 256-bit, so 8.
+	if g3.PeakGFLOPS() != 2.6*2*8*2 {
+		t.Errorf("Graviton3 peak %g", g3.PeakGFLOPS())
+	}
+	// Not part of the Table IV evaluation set.
+	for _, c := range All() {
+		if c.Name == "Graviton3" {
+			t.Error("Graviton3 must not appear in All()")
+		}
+	}
+}

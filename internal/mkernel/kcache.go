@@ -1,0 +1,63 @@
+package mkernel
+
+import (
+	"sync"
+
+	"autogemm/internal/asm"
+)
+
+// Cache memoizes generated kernels by configuration name. Kernel
+// generation is cheap but plans regenerate the same corner-case shapes
+// many times; the paper's library likewise JIT-caches its kernels.
+type Cache struct {
+	mu    sync.Mutex
+	progs map[string]*asm.Program
+}
+
+// NewCache returns an empty kernel cache.
+func NewCache() *Cache { return &Cache{progs: make(map[string]*asm.Program)} }
+
+// Kernel returns the (possibly cached) kernel for cfg.
+func (c *Cache) Kernel(cfg Config) (*asm.Program, error) {
+	key := cfg.Name()
+	c.mu.Lock()
+	if p, ok := c.progs[key]; ok {
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+	p, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.progs[key] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Band returns the (possibly cached) band kernel for cfg.
+func (c *Cache) Band(cfg BandConfig) (*asm.Program, error) {
+	key := cfg.Name()
+	c.mu.Lock()
+	if p, ok := c.progs[key]; ok {
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+	p, err := GenerateBand(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.progs[key] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Size reports how many kernels are cached.
+func (c *Cache) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.progs)
+}

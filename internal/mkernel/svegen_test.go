@@ -1,0 +1,169 @@
+package mkernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autogemm/internal/refgemm"
+	"autogemm/internal/sim"
+)
+
+// runPredicated executes a predicated kernel with ZERO slack: the exact
+// matrix footprints, proving there is no over-read or over-write.
+func runPredicated(t *testing.T, cfg PredConfig) {
+	t.Helper()
+	prog, err := GeneratePredicated(cfg)
+	if err != nil {
+		t.Fatalf("GeneratePredicated(%s): %v", cfg.Name(), err)
+	}
+	mr, nr, kc, lanes := cfg.Tile.MR, cfg.Tile.NR, cfg.KC, cfg.Lanes
+
+	arena := sim.NewArena(4)
+	aAddr := arena.Alloc(mr * kc) // exact, no slack
+	bAddr := arena.Alloc(kc * nr)
+	cAddr := arena.Alloc(mr * nr) // the final allocation: any overrun faults
+
+	a := arena.Slice(aAddr, mr*kc)
+	b := arena.Slice(bAddr, kc*nr)
+	c := arena.Slice(cAddr, mr*nr)
+	refgemm.Fill(a, mr, kc, kc, 61)
+	refgemm.Fill(b, kc, nr, nr, 62)
+	refgemm.Fill(c, mr, nr, nr, 63)
+
+	want := make([]float32, mr*nr)
+	if cfg.LoadC {
+		copy(want, c)
+	}
+	refgemm.GEMM(mr, nr, kc, a, kc, b, nr, want, nr)
+
+	m := sim.NewMachine(arena, lanes)
+	m.SetArg(0, aAddr)
+	m.SetArg(1, bAddr)
+	m.SetArg(2, cAddr)
+	m.SetArg(3, int64(kc))
+	m.SetArg(4, int64(nr))
+	m.SetArg(5, int64(nr))
+	if err := m.Run(prog, 10_000_000); err != nil {
+		t.Fatalf("Run(%s): %v", prog.Name, err)
+	}
+	if e := refgemm.MaxRelErr(c, want, mr, nr, nr, nr); e > refgemm.Tolerance {
+		t.Errorf("%s: max rel err %.3g", cfg.Name(), e)
+	}
+}
+
+// TestPredicatedArbitraryWidths: n_r values that are NOT multiples of
+// the 16-lane SVE width compute exactly, with no padding anywhere.
+func TestPredicatedArbitraryWidths(t *testing.T) {
+	for _, nr := range []int{1, 3, 7, 15, 16, 17, 20, 31, 33, 47} {
+		for _, kc := range []int{1, 5, 16, 19, 40} {
+			cfg := PredConfig{Tile: Tile{MR: 4, NR: nr}, KC: kc, Lanes: 16, LoadC: true}
+			if !cfg.Feasible() {
+				continue
+			}
+			t.Run(cfg.Name(), func(t *testing.T) { runPredicated(t, cfg) })
+		}
+	}
+}
+
+// TestPredicatedNEONWidths: the predicated generator also works at NEON
+// width (4 lanes), covering sub-vector tails like n_r = 3.
+func TestPredicatedNEONWidths(t *testing.T) {
+	for _, tile := range []Tile{{2, 3}, {5, 6}, {3, 13}, {8, 5}} {
+		cfg := PredConfig{Tile: tile, KC: 11, Lanes: 4, LoadC: true}
+		if !cfg.Feasible() {
+			t.Fatalf("%v unexpectedly infeasible", tile)
+		}
+		runPredicated(t, cfg)
+	}
+}
+
+// TestPredicatedBetaZero covers the overwrite variant.
+func TestPredicatedBetaZero(t *testing.T) {
+	runPredicated(t, PredConfig{Tile: Tile{MR: 3, NR: 21}, KC: 18, Lanes: 16, LoadC: false})
+}
+
+// TestPredicatedFeasibility checks the register budget math and limits.
+func TestPredicatedFeasibility(t *testing.T) {
+	bad := []PredConfig{
+		{Tile: Tile{MR: 0, NR: 4}, KC: 4, Lanes: 16},
+		{Tile: Tile{MR: 4, NR: 0}, KC: 4, Lanes: 16},
+		{Tile: Tile{MR: 4, NR: 4}, KC: 0, Lanes: 16},
+		{Tile: Tile{MR: 12, NR: 4}, KC: 4, Lanes: 16},     // beyond MaxMR
+		{Tile: Tile{MR: 8, NR: 16 * 4}, KC: 4, Lanes: 16}, // 8·4+8+4 = 44 registers > 32
+	}
+	for _, cfg := range bad {
+		if cfg.Feasible() {
+			t.Errorf("%s should be infeasible", cfg.Name())
+		}
+		if _, err := GeneratePredicated(cfg); err == nil {
+			t.Errorf("%s generated despite infeasibility", cfg.Name())
+		}
+	}
+}
+
+// TestPredicatedProperty: random shapes stay exact with zero slack.
+func TestPredicatedProperty(t *testing.T) {
+	f := func(mrRaw, nrRaw, kcRaw uint8) bool {
+		cfg := PredConfig{
+			Tile:  Tile{MR: int(mrRaw)%4 + 1, NR: int(nrRaw)%40 + 1},
+			KC:    int(kcRaw)%30 + 1,
+			Lanes: 16, LoadC: true,
+		}
+		if !cfg.Feasible() {
+			return true
+		}
+		prog, err := GeneratePredicated(cfg)
+		if err != nil {
+			return false
+		}
+		mr, nr, kc := cfg.Tile.MR, cfg.Tile.NR, cfg.KC
+		arena := sim.NewArena(4)
+		aAddr := arena.Alloc(mr * kc)
+		bAddr := arena.Alloc(kc * nr)
+		cAddr := arena.Alloc(mr * nr)
+		a := arena.Slice(aAddr, mr*kc)
+		b := arena.Slice(bAddr, kc*nr)
+		c := arena.Slice(cAddr, mr*nr)
+		refgemm.Fill(a, mr, kc, kc, uint64(mrRaw))
+		refgemm.Fill(b, kc, nr, nr, uint64(nrRaw))
+		want := make([]float32, mr*nr)
+		refgemm.GEMM(mr, nr, kc, a, kc, b, nr, want, nr)
+		m := sim.NewMachine(arena, 16)
+		m.SetArg(0, aAddr)
+		m.SetArg(1, bAddr)
+		m.SetArg(2, cAddr)
+		m.SetArg(3, int64(kc))
+		m.SetArg(4, int64(nr))
+		m.SetArg(5, int64(nr))
+		if err := m.Run(prog, 10_000_000); err != nil {
+			return false
+		}
+		return refgemm.MaxRelErr(c, want, mr, nr, nr, nr) <= refgemm.Tolerance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPredicatedPrintsSVE: the rendered assembly uses SVE mnemonics.
+func TestPredicatedPrintsSVE(t *testing.T) {
+	prog, err := GeneratePredicated(PredConfig{Tile: Tile{MR: 2, NR: 20}, KC: 8, Lanes: 16, LoadC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := prog.String()
+	for _, want := range []string{"whilelt", "ptrue", "ld1w", "st1w", "/z"} {
+		if !contains(out, want) {
+			t.Errorf("assembly missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+// Package mkernel generates autoGEMM micro-kernels: AArch64-IR programs
+// computing C(m_r,n_r) += A(m_r,k_c)·B(k_c,n_r) (§III of the paper,
+// Listing 1), together with the two pipeline optimizations of §III-C
+// (rotating register allocation and epilogue–prologue fusion) and the
+// arithmetic-intensity selection math of Table II.
+package mkernel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tile is a register tile shape (m_r × n_r).
+type Tile struct {
+	MR int
+	NR int
+}
+
+// String implements fmt.Stringer.
+func (t Tile) String() string { return fmt.Sprintf("%dx%d", t.MR, t.NR) }
+
+// AIMax returns the asymptotic arithmetic intensity of the tile for
+// k_c → ∞ (Eqn 2): 2·m_r·n_r / (m_r + n_r) FLOPs per loaded element,
+// the figure tabulated in Table II (e.g. 7.62 for 5×16, 8.00 for 8×8).
+func (t Tile) AIMax(lanes int) float64 {
+	m, n := float64(t.MR), float64(t.NR)
+	return 2 * m * n / (m + n)
+}
+
+// AI returns the finite-k_c arithmetic intensity of Eqn 3:
+//
+//	AI = 2·m_r·n̂_r·k_c / (2·m_r·n̂_r + m_r·k̂_c + k_c·n̂_r)
+//
+// which accounts for the prologue C loads and epilogue C stores that
+// dominate when k_c is small (Fig 2).
+func (t Tile) AI(kc, lanes int) float64 {
+	nv := float64(t.NR) / float64(lanes)
+	kv := float64(kc) / float64(lanes)
+	m := float64(t.MR)
+	k := float64(kc)
+	den := 2*m*nv + m*kv + k*nv
+	if den == 0 {
+		return 0
+	}
+	return 2 * m * nv * k / den
+}
+
+// RegistersNeeded returns the vector registers a straightforward kernel
+// for the tile consumes: m_r·n̂_r accumulators, m_r A registers and n̂_r
+// B registers.
+func (t Tile) RegistersNeeded(lanes int) int {
+	nv := t.NR / lanes
+	return t.MR*nv + t.MR + nv
+}
+
+// Feasible reports whether the tile fits the 32-vector-register file with
+// n_r a positive multiple of σ_lane and m_r ≥ 1.
+func (t Tile) Feasible(lanes int) bool {
+	if t.MR < 1 || t.NR < lanes || t.NR%lanes != 0 {
+		return false
+	}
+	return t.RegistersNeeded(lanes) <= 32
+}
+
+// FeasibleTiles enumerates every register tile that fits in 32 vector
+// registers for the given σ_lane, in descending-AI order. For NEON
+// (lanes=4) this is exactly the 58-tile space the paper derives from the
+// 32-register limit (§III-A1).
+func FeasibleTiles(lanes int) []Tile {
+	var tiles []Tile
+	for mr := 1; mr <= 30; mr++ {
+		for nr := lanes; ; nr += lanes {
+			t := Tile{MR: mr, NR: nr}
+			if !t.Feasible(lanes) {
+				break
+			}
+			tiles = append(tiles, t)
+		}
+	}
+	sort.Slice(tiles, func(i, j int) bool {
+		ai, aj := tiles[i].AIMax(lanes), tiles[j].AIMax(lanes)
+		if ai != aj {
+			return ai > aj
+		}
+		if tiles[i].MR != tiles[j].MR {
+			return tiles[i].MR < tiles[j].MR
+		}
+		return tiles[i].NR < tiles[j].NR
+	})
+	return tiles
+}
+
+// PreferredTiles returns the paper's first-choice micro-kernel shapes:
+// the four high-AI tiles highlighted in Table II (8×8, 6×12, 5×16 and
+// 4×20 for NEON). For other σ_lane the analogous construction is used —
+// for each m_r in 4..8, the widest feasible n_r — keeping the four
+// highest-AI shapes. The remaining feasible tiles fill corner cases.
+func PreferredTiles(lanes int) []Tile {
+	if lanes == 4 {
+		// The exact blue set of Table II. (7×12 is register-feasible by
+		// the budget formula but the paper excludes it, reserving spare
+		// registers for pipeline rotation.)
+		return []Tile{{8, 8}, {6, 12}, {5, 16}, {4, 20}}
+	}
+	var out []Tile
+	for mr := 4; mr <= 8; mr++ {
+		best := Tile{}
+		for nr := lanes; ; nr += lanes {
+			t := Tile{MR: mr, NR: nr}
+			if !t.Feasible(lanes) {
+				break
+			}
+			best = t
+		}
+		if best.MR != 0 {
+			out = append(out, best)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AIMax(lanes) > out[j].AIMax(lanes) })
+	if len(out) > 4 {
+		out = out[:4]
+	}
+	return out
+}
+
+// ComputeBound reports whether a tile can reach peak on hardware with
+// threshold σ_AI (§III-B2): tiles whose asymptotic AI falls below σ_AI
+// are memory-bound and need the B-side rotating register allocation.
+func (t Tile) ComputeBound(lanes int, sigmaAI float64) bool {
+	return t.AIMax(lanes) >= sigmaAI
+}

@@ -1,0 +1,63 @@
+// Package refgemm provides a plain, obviously-correct float32 GEMM and
+// matrix helpers. It is the numerical ground truth every generated
+// kernel, plan and baseline is verified against (the paper verifies
+// against other BLAS libraries with relative error < 1e-6; here the
+// reference implementation plays that role).
+package refgemm
+
+import "math"
+
+// GEMM computes C(M,N) += A(M,K)·B(K,N) over row-major matrices with the
+// given leading dimensions (in elements).
+func GEMM(m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int) {
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a[i*lda+p]
+			if av == 0 {
+				continue
+			}
+			bRow := b[p*ldb : p*ldb+n]
+			cRow := c[i*ldc : i*ldc+n]
+			for j := 0; j < n; j++ {
+				cRow[j] += av * bRow[j]
+			}
+		}
+	}
+}
+
+// Fill writes a deterministic pseudo-random pattern into a row-major
+// matrix, seeded so different matrices get different data. Values stay
+// in [-1, 1) so float32 accumulation error remains well under the 1e-6
+// relative tolerance for the problem sizes used in tests.
+func Fill(m []float32, rows, cols, ld int, seed uint64) {
+	s := seed*2654435761 + 12345
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			// Map the top bits to [-1, 1).
+			v := float64(int32(s>>32)) / float64(1<<31)
+			m[i*ld+j] = float32(v)
+		}
+	}
+}
+
+// MaxRelErr returns the maximum element-wise relative error of got vs
+// want over an m×n region, using max(1, |want|) as the denominator so
+// near-zero entries are compared absolutely.
+func MaxRelErr(got, want []float32, m, n, ldGot, ldWant int) float64 {
+	worst := 0.0
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			g := float64(got[i*ldGot+j])
+			w := float64(want[i*ldWant+j])
+			den := math.Max(1, math.Abs(w))
+			if e := math.Abs(g-w) / den; e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+// Tolerance is the verification threshold from §V of the paper.
+const Tolerance = 1e-6

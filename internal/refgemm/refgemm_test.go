@@ -1,0 +1,70 @@
+package refgemm
+
+import "testing"
+
+// TestGEMMKnownValues: a hand-computed 2x2x2 product.
+func TestGEMMKnownValues(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	c := []float32{1, 1, 1, 1}
+	GEMM(2, 2, 2, a, 2, b, 2, c, 2)
+	want := []float32{20, 23, 44, 51} // 1 + A·B
+	for i := range want {
+		if c[i] != want[i] {
+			t.Errorf("c[%d] = %g, want %g", i, c[i], want[i])
+		}
+	}
+}
+
+// TestGEMMLeadingDimensions: strided matrices multiply correctly.
+func TestGEMMLeadingDimensions(t *testing.T) {
+	// 1x1x1 embedded in larger buffers.
+	a := []float32{3, 99}
+	b := []float32{4, 99}
+	c := []float32{0, 99}
+	GEMM(1, 1, 1, a, 2, b, 2, c, 2)
+	if c[0] != 12 || c[1] != 99 {
+		t.Errorf("strided GEMM wrote %v", c)
+	}
+}
+
+// TestFillDeterministicAndBounded: same seed same data, different seeds
+// differ, values within [-1, 1).
+func TestFillDeterministicAndBounded(t *testing.T) {
+	x := make([]float32, 64)
+	y := make([]float32, 64)
+	Fill(x, 8, 8, 8, 7)
+	Fill(y, 8, 8, 8, 7)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("Fill not deterministic")
+		}
+		if x[i] < -1 || x[i] >= 1 {
+			t.Fatalf("Fill value %g out of [-1, 1)", x[i])
+		}
+	}
+	Fill(y, 8, 8, 8, 8)
+	same := true
+	for i := range x {
+		if x[i] != y[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// TestMaxRelErr: absolute comparison near zero, relative away from it.
+func TestMaxRelErr(t *testing.T) {
+	got := []float32{0.5, 100}
+	want := []float32{0.5 + 0.25, 101}
+	e := MaxRelErr(got, want, 1, 2, 2, 2)
+	// Element 0: |0.25|/max(1, 0.75) = 0.25; element 1: 1/101 ≈ 0.0099.
+	if e < 0.24 || e > 0.26 {
+		t.Errorf("MaxRelErr = %g, want ~0.25", e)
+	}
+	if MaxRelErr(got, got, 1, 2, 2, 2) != 0 {
+		t.Error("identical data should give zero error")
+	}
+}

@@ -1,0 +1,90 @@
+// Package roofline implements the roofline model of Fig 10: per-chip
+// compute and bandwidth ceilings, placement of measured kernels by
+// arithmetic intensity, and the bound classification (DRAM-bound,
+// cache-bound, compute-bound).
+package roofline
+
+import (
+	"fmt"
+	"math"
+
+	"autogemm/internal/hw"
+)
+
+// Point is one kernel placed on a roofline.
+type Point struct {
+	Label     string
+	AI        float64 // FLOPs per DRAM byte
+	GFLOPS    float64 // measured
+	Attain    float64 // attainable at this AI
+	Fraction  float64 // measured / attainable
+	BoundedBy string  // "DRAM", "L3", or "compute"
+}
+
+// Model is a chip's roofline for a given core count.
+type Model struct {
+	Chip  *hw.Chip
+	Cores int
+}
+
+// New builds a roofline for the chip at the given core count (0 = all).
+func New(chip *hw.Chip, cores int) *Model {
+	if cores <= 0 || cores > chip.Cores {
+		cores = chip.Cores
+	}
+	return &Model{Chip: chip, Cores: cores}
+}
+
+// PeakGFLOPS is the compute ceiling.
+func (m *Model) PeakGFLOPS() float64 {
+	return m.Chip.PeakGFLOPS() * float64(m.Cores)
+}
+
+// DRAMGBs is the bandwidth ceiling; single-core runs see a per-core
+// slice of the socket bandwidth (a core cannot saturate the socket).
+func (m *Model) DRAMGBs() float64 {
+	if m.Cores >= m.Chip.Cores {
+		return m.Chip.DRAMGBs
+	}
+	perCore := m.Chip.DRAMGBs / float64(m.Chip.Cores) * 2.5 // single-core streams ~2.5x its share
+	return math.Min(m.Chip.DRAMGBs, perCore*float64(m.Cores))
+}
+
+// Attainable returns the roofline bound at arithmetic intensity ai.
+func (m *Model) Attainable(ai float64) float64 {
+	return math.Min(m.PeakGFLOPS(), ai*m.DRAMGBs())
+}
+
+// Ridge returns the arithmetic intensity where the two ceilings meet.
+func (m *Model) Ridge() float64 { return m.PeakGFLOPS() / m.DRAMGBs() }
+
+// AIOfGEMM returns the DRAM arithmetic intensity of a GEMM assuming each
+// matrix streams once: 2MNK / 4(MK + KN + 2MN) bytes.
+func AIOfGEMM(mm, n, k int) float64 {
+	flops := 2 * float64(mm) * float64(n) * float64(k)
+	bytes := 4 * (float64(mm)*float64(k) + float64(k)*float64(n) + 2*float64(mm)*float64(n))
+	return flops / bytes
+}
+
+// Place positions a measured kernel on the roofline.
+func (m *Model) Place(label string, ai, gflops float64) Point {
+	attain := m.Attainable(ai)
+	bound := "compute"
+	if ai < m.Ridge() {
+		bound = "DRAM"
+		if m.Chip.L3GBs > 0 && ai*m.Chip.L3GBs >= m.PeakGFLOPS() {
+			bound = "L3"
+		}
+	}
+	frac := 0.0
+	if attain > 0 {
+		frac = gflops / attain
+	}
+	return Point{Label: label, AI: ai, GFLOPS: gflops, Attain: attain, Fraction: frac, BoundedBy: bound}
+}
+
+// String renders a point as a table row.
+func (p Point) String() string {
+	return fmt.Sprintf("%-16s AI=%7.2f  %8.1f GF/s of %8.1f attainable (%.0f%%, %s-bound)",
+		p.Label, p.AI, p.GFLOPS, p.Attain, p.Fraction*100, p.BoundedBy)
+}

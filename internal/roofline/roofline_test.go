@@ -1,0 +1,87 @@
+package roofline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"autogemm/internal/hw"
+)
+
+func TestCeilings(t *testing.T) {
+	m := New(hw.KP920(), 0)
+	if m.PeakGFLOPS() != hw.KP920().PeakGFLOPSAllCores() {
+		t.Error("all-core peak wrong")
+	}
+	one := New(hw.KP920(), 1)
+	if one.PeakGFLOPS() != hw.KP920().PeakGFLOPS() {
+		t.Error("single-core peak wrong")
+	}
+	if one.DRAMGBs() >= m.DRAMGBs() {
+		t.Error("single core should see less bandwidth than the socket")
+	}
+}
+
+func TestAttainableShape(t *testing.T) {
+	m := New(hw.Graviton2(), 0)
+	r := m.Ridge()
+	if m.Attainable(r/2) >= m.PeakGFLOPS() {
+		t.Error("below the ridge the bound must be bandwidth-limited")
+	}
+	if m.Attainable(r*4) != m.PeakGFLOPS() {
+		t.Error("above the ridge the bound is the compute peak")
+	}
+	// Monotone non-decreasing in AI.
+	prev := 0.0
+	for ai := 0.25; ai < 512; ai *= 2 {
+		a := m.Attainable(ai)
+		if a < prev {
+			t.Errorf("attainable not monotone at AI=%g", ai)
+		}
+		prev = a
+	}
+}
+
+func TestAIOfGEMM(t *testing.T) {
+	// 64^3: 2·64³ / 4·(64² + 64² + 2·64²) = 524288/65536 = 8.
+	if got := AIOfGEMM(64, 64, 64); math.Abs(got-8) > 1e-12 {
+		t.Errorf("AI(64^3) = %g, want 8", got)
+	}
+	// AI grows with size for cubes (Fig 10: small GEMMs sit left).
+	if AIOfGEMM(8, 8, 8) >= AIOfGEMM(64, 64, 64) {
+		t.Error("AI should grow with cube size")
+	}
+}
+
+// TestFig10SmallCubesPlacement: the 8³ kernel lands in the memory-bound
+// region on a single core only for very low AI; at 64³ it is compute
+// bound on every chip (the Fig 10 narrative).
+func TestFig10Placement(t *testing.T) {
+	for _, chip := range []*hw.Chip{hw.KP920(), hw.Graviton2(), hw.M2()} {
+		m := New(chip, 1)
+		p64 := m.Place("64^3", AIOfGEMM(64, 64, 64), chip.PeakGFLOPS()*0.9)
+		if p64.BoundedBy != "compute" {
+			t.Errorf("%s: 64^3 should be compute-bound on one core, got %s", chip.Name, p64.BoundedBy)
+		}
+		if p64.Fraction <= 0 || p64.Fraction > 1.01 {
+			t.Errorf("%s: fraction %.2f out of range", chip.Name, p64.Fraction)
+		}
+	}
+	// Multi-core rooflines push the ridge right: an irregular layer that
+	// is compute-bound on one core can exceed the DRAM ceiling on all
+	// cores (paper: "autoGEMM can easily exceed the upper bounds of DRAM").
+	chip := hw.KP920()
+	ai := AIOfGEMM(256, 3136, 64)
+	if one, all := New(chip, 1), New(chip, 0); one.Attainable(ai) >= all.Attainable(ai) &&
+		one.Ridge() >= all.Ridge() {
+		t.Error("multi-core roofline should raise the ceiling and move the ridge")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	m := New(hw.M2(), 1)
+	p := m.Place("L4", 30, 50)
+	if !strings.Contains(p.String(), "L4") {
+		t.Error("label missing from rendering")
+	}
+}

@@ -1,0 +1,282 @@
+// Package sim executes asm programs. It contains two machines:
+//
+//   - the functional Machine runs a program over a float32 arena and is
+//     the ground truth for numerical correctness of generated kernels;
+//   - the timing Model replays the dynamic instruction trace through a
+//     scoreboard pipeline (dispatch width, per-class ports and latencies,
+//     bounded out-of-order window, cache-dependent load latency) and
+//     reports cycles — the substitute for running on real Arm silicon.
+package sim
+
+import (
+	"fmt"
+
+	"autogemm/internal/asm"
+)
+
+// Arena is a flat float32 memory. Pointer values held in scalar registers
+// are byte offsets into the arena, so generated kernels can do AArch64
+// pointer arithmetic (lsl by 2, add leading-dimension strides) unchanged.
+type Arena struct {
+	data []float32
+	next int64
+}
+
+// NewArena allocates an arena holding n float32 words.
+func NewArena(n int) *Arena { return &Arena{data: make([]float32, n)} }
+
+// Alloc reserves n words and returns their base byte address, aligned to
+// a 64-byte cache line the way a real allocator would align BLAS buffers.
+func (a *Arena) Alloc(n int) int64 {
+	const lineWords = 16
+	if r := a.next % lineWords; r != 0 {
+		a.next += lineWords - r
+	}
+	base := a.next
+	a.next += int64(n)
+	if int(a.next) > len(a.data) {
+		grown := make([]float32, int(a.next)*2)
+		copy(grown, a.data)
+		a.data = grown
+	}
+	return base * 4
+}
+
+// Slice returns the n words starting at byte address addr.
+func (a *Arena) Slice(addr int64, n int) []float32 {
+	i := addr / 4
+	return a.data[i : i+int64(n)]
+}
+
+// Float32 returns the word at byte address addr.
+func (a *Arena) Float32(addr int64) float32 { return a.data[addr/4] }
+
+// SetFloat32 stores v at byte address addr.
+func (a *Arena) SetFloat32(addr int64, v float32) { a.data[addr/4] = v }
+
+// Words returns the arena capacity in float32 words.
+func (a *Arena) Words() int { return len(a.data) }
+
+// MemRef describes one dynamic memory access for the timing model.
+type MemRef struct {
+	Addr  int64 // byte address
+	Bytes int
+	Store bool
+}
+
+// TraceEntry is one executed instruction in dynamic order.
+type TraceEntry struct {
+	Index  int // instruction index in the program
+	Mem    MemRef
+	HasMem bool
+}
+
+// Machine is the functional interpreter state.
+type Machine struct {
+	X     [asm.NumScalarRegs]int64
+	V     [asm.NumVectorRegs][]float32
+	P     [asm.NumPredRegs][]bool // SVE predicate lanes
+	ZFlag bool                    // set by SUBS when the result is zero
+
+	Lanes int
+	Mem   *Arena
+
+	// Record enables trace capture during Run for the timing model.
+	Record bool
+	Trace  []TraceEntry
+}
+
+// NewMachine builds a functional machine with σ_lane-wide vectors.
+func NewMachine(mem *Arena, lanes int) *Machine {
+	m := &Machine{Lanes: lanes, Mem: mem}
+	for i := range m.V {
+		m.V[i] = make([]float32, lanes)
+	}
+	for i := range m.P {
+		m.P[i] = make([]bool, lanes)
+	}
+	return m
+}
+
+// SetArg places an argument value (a pointer or integer) in Xn, following
+// the AAPCS64 convention the generated kernels assume (A, B, C, lda, ldb,
+// ldc in X0..X5).
+func (m *Machine) SetArg(n int, v int64) { m.X[n] = v }
+
+// Run executes the program until RET, a step budget, or an error. The
+// step budget guards against generator bugs producing infinite loops.
+func (m *Machine) Run(p *asm.Program, maxSteps int) error {
+	if m.Record {
+		m.Trace = m.Trace[:0]
+	}
+	pc := 0
+	steps := 0
+	vecBytes := int64(m.Lanes * 4)
+	for pc < len(p.Instrs) {
+		if steps++; steps > maxSteps {
+			return fmt.Errorf("sim: %s: exceeded %d steps (infinite loop?)", p.Name, maxSteps)
+		}
+		in := &p.Instrs[pc]
+		var mem MemRef
+		hasMem := false
+		switch in.Op {
+		case asm.OpNop, asm.OpLabel:
+			// nothing
+		case asm.OpMov:
+			m.writeX(in.Dst, m.readX(in.Src1))
+		case asm.OpMovI:
+			m.writeX(in.Dst, in.Imm)
+		case asm.OpLsl:
+			m.writeX(in.Dst, m.readX(in.Src1)<<uint(in.Imm))
+		case asm.OpAdd:
+			m.writeX(in.Dst, m.readX(in.Src1)+m.readX(in.Src2))
+		case asm.OpAddI:
+			m.writeX(in.Dst, m.readX(in.Src1)+in.Imm)
+		case asm.OpSubI:
+			m.writeX(in.Dst, m.readX(in.Src1)-in.Imm)
+		case asm.OpSubs:
+			v := m.readX(in.Src1) - in.Imm
+			m.writeX(in.Dst, v)
+			m.ZFlag = v == 0
+		case asm.OpB:
+			t, ok := p.LabelIndex(in.Label)
+			if !ok {
+				return fmt.Errorf("sim: %s: undefined label %q", p.Name, in.Label)
+			}
+			pc = t
+			continue
+		case asm.OpBne:
+			if !m.ZFlag {
+				t, ok := p.LabelIndex(in.Label)
+				if !ok {
+					return fmt.Errorf("sim: %s: undefined label %q", p.Name, in.Label)
+				}
+				if m.Record {
+					m.Trace = append(m.Trace, TraceEntry{Index: pc})
+				}
+				pc = t
+				continue
+			}
+		case asm.OpRet:
+			if m.Record {
+				m.Trace = append(m.Trace, TraceEntry{Index: pc})
+			}
+			return nil
+		case asm.OpLdrQ, asm.OpLdrQPost:
+			addr := m.readX(in.Src1)
+			if in.Op == asm.OpLdrQ {
+				addr += in.Imm
+			}
+			if err := m.checkAddr(p, addr, vecBytes); err != nil {
+				return err
+			}
+			copy(m.V[in.Dst.Index()], m.Mem.Slice(addr, m.Lanes))
+			if in.Op == asm.OpLdrQPost {
+				m.writeX(in.Src1, m.readX(in.Src1)+in.Imm)
+			}
+			mem, hasMem = MemRef{Addr: addr, Bytes: int(vecBytes)}, true
+		case asm.OpStrQ, asm.OpStrQPost:
+			addr := m.readX(in.Src1)
+			if in.Op == asm.OpStrQ {
+				addr += in.Imm
+			}
+			if err := m.checkAddr(p, addr, vecBytes); err != nil {
+				return err
+			}
+			copy(m.Mem.Slice(addr, m.Lanes), m.V[in.Dst.Index()])
+			if in.Op == asm.OpStrQPost {
+				m.writeX(in.Src1, m.readX(in.Src1)+in.Imm)
+			}
+			mem, hasMem = MemRef{Addr: addr, Bytes: int(vecBytes), Store: true}, true
+		case asm.OpFmla:
+			d, a, b := m.V[in.Dst.Index()], m.V[in.Src1.Index()], m.V[in.Src2.Index()]
+			s := b[in.Lane]
+			for l := 0; l < m.Lanes; l++ {
+				d[l] += a[l] * s
+			}
+		case asm.OpVZero:
+			d := m.V[in.Dst.Index()]
+			for l := range d {
+				d[l] = 0
+			}
+		case asm.OpPrfm:
+			addr := m.readX(in.Src1) + in.Imm
+			mem, hasMem = MemRef{Addr: addr, Bytes: 0}, true
+		case asm.OpWhilelt:
+			idx := m.readX(in.Src1)
+			limit := m.readX(in.Src2)
+			pd := m.P[int(in.Dst)-asm.NumScalarRegs-asm.NumVectorRegs]
+			for l := 0; l < m.Lanes; l++ {
+				pd[l] = idx+int64(l) < limit
+			}
+		case asm.OpPTrue:
+			pd := m.P[int(in.Dst)-asm.NumScalarRegs-asm.NumVectorRegs]
+			for l := range pd {
+				pd[l] = true
+			}
+		case asm.OpLd1W:
+			addr := m.readX(in.Src1) + in.Imm
+			pd := m.P[int(in.Src2)-asm.NumScalarRegs-asm.NumVectorRegs]
+			d := m.V[in.Dst.Index()]
+			active := 0
+			for l := 0; l < m.Lanes; l++ {
+				if !pd[l] {
+					d[l] = 0 // SVE zeroing load
+					continue
+				}
+				ea := addr + int64(l)*4
+				if err := m.checkAddr(p, ea, 4); err != nil {
+					return err
+				}
+				d[l] = m.Mem.Float32(ea)
+				active++
+			}
+			mem, hasMem = MemRef{Addr: addr, Bytes: active * 4}, true
+		case asm.OpSt1W:
+			addr := m.readX(in.Src1) + in.Imm
+			pd := m.P[int(in.Src2)-asm.NumScalarRegs-asm.NumVectorRegs]
+			d := m.V[in.Dst.Index()]
+			active := 0
+			for l := 0; l < m.Lanes; l++ {
+				if !pd[l] {
+					continue
+				}
+				ea := addr + int64(l)*4
+				if err := m.checkAddr(p, ea, 4); err != nil {
+					return err
+				}
+				m.Mem.SetFloat32(ea, d[l])
+				active++
+			}
+			mem, hasMem = MemRef{Addr: addr, Bytes: active * 4, Store: true}, true
+		default:
+			return fmt.Errorf("sim: %s: unimplemented op %s", p.Name, in.Op)
+		}
+		if m.Record && in.Op != asm.OpLabel {
+			m.Trace = append(m.Trace, TraceEntry{Index: pc, Mem: mem, HasMem: hasMem})
+		}
+		pc++
+	}
+	return fmt.Errorf("sim: %s: fell off the end without ret", p.Name)
+}
+
+func (m *Machine) readX(r asm.Reg) int64 {
+	if r == asm.XZR {
+		return 0
+	}
+	return m.X[r.Index()]
+}
+
+func (m *Machine) writeX(r asm.Reg, v int64) {
+	if r == asm.XZR {
+		return
+	}
+	m.X[r.Index()] = v
+}
+
+func (m *Machine) checkAddr(p *asm.Program, addr, size int64) error {
+	if addr < 0 || addr%4 != 0 || int(addr/4)+int(size/4) > m.Mem.Words() {
+		return fmt.Errorf("sim: %s: out-of-bounds access at byte %d (+%d)", p.Name, addr, size)
+	}
+	return nil
+}

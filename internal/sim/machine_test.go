@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+
+	"autogemm/internal/asm"
+)
+
+func TestArenaAllocAlignment(t *testing.T) {
+	a := NewArena(1024)
+	p1 := a.Alloc(3)
+	p2 := a.Alloc(5)
+	if p1%64 != 0 || p2%64 != 0 {
+		t.Errorf("allocations not line-aligned: %d %d", p1, p2)
+	}
+	if p2 <= p1 {
+		t.Error("overlapping allocations")
+	}
+}
+
+func TestArenaGrows(t *testing.T) {
+	a := NewArena(8)
+	addr := a.Alloc(1000)
+	a.SetFloat32(addr+999*4, 42)
+	if a.Float32(addr+999*4) != 42 {
+		t.Error("arena did not grow")
+	}
+}
+
+func TestMachineScalarOps(t *testing.T) {
+	p := asm.NewProgram("scalar")
+	p.MovI(asm.X(0), 10)
+	p.Lsl(asm.X(1), asm.X(0), 2)  // 40
+	p.AddI(asm.X(2), asm.X(1), 2) // 42
+	p.Mov(asm.X(3), asm.X(2))
+	p.Add(asm.X(4), asm.X(3), asm.X(0)) // 52
+	p.SubI(asm.X(5), asm.X(4), 52)      // 0
+	p.Ret()
+	m := NewMachine(NewArena(16), 4)
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int64{10, 40, 42, 42, 52, 0} {
+		if m.X[i] != want {
+			t.Errorf("x%d = %d, want %d", i, m.X[i], want)
+		}
+	}
+}
+
+func TestMachineXZR(t *testing.T) {
+	p := asm.NewProgram("xzr")
+	p.MovI(asm.XZR, 99) // write discarded
+	p.Mov(asm.X(0), asm.XZR)
+	p.Ret()
+	m := NewMachine(NewArena(16), 4)
+	m.X[0] = 7
+	if err := m.Run(p, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.X[0] != 0 {
+		t.Errorf("reading xzr gave %d", m.X[0])
+	}
+}
+
+func TestMachineLoopAndFlag(t *testing.T) {
+	// Sum 1..5 via a SUBS/BNE loop.
+	p := asm.NewProgram("loop")
+	p.MovI(asm.X(0), 5) // counter
+	p.MovI(asm.X(1), 0) // accumulator
+	p.Label("top")
+	p.Add(asm.X(1), asm.X(1), asm.X(0))
+	p.Subs(asm.X(0), asm.X(0), 1)
+	p.Bne("top")
+	p.Ret()
+	m := NewMachine(NewArena(16), 4)
+	if err := m.Run(p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.X[1] != 15 {
+		t.Errorf("sum = %d, want 15", m.X[1])
+	}
+}
+
+func TestMachineVectorLoadStoreFMLA(t *testing.T) {
+	a := NewArena(256)
+	src := a.Alloc(8)
+	dst := a.Alloc(4)
+	for i := 0; i < 8; i++ {
+		a.SetFloat32(src+int64(i)*4, float32(i+1))
+	}
+	p := asm.NewProgram("vec")
+	p.MovI(asm.X(0), src)
+	p.LdrQPost(asm.V(0), asm.X(0), 16) // 1,2,3,4
+	p.LdrQ(asm.V(1), asm.X(0), 0)      // 5,6,7,8
+	p.VZero(asm.V(2))
+	p.Fmla(asm.V(2), asm.V(0), asm.V(1), 1) // += (1..4) * 6
+	p.MovI(asm.X(1), dst)
+	p.StrQPost(asm.V(2), asm.X(1), 16)
+	p.Ret()
+	m := NewMachine(a, 4)
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float32{6, 12, 18, 24} {
+		if got := a.Float32(dst + int64(i)*4); got != want {
+			t.Errorf("dst[%d] = %g, want %g", i, got, want)
+		}
+	}
+	if m.X[0] != src+16 {
+		t.Errorf("post-index base = %d, want %d", m.X[0], src+16)
+	}
+	if m.X[1] != dst+16 {
+		t.Errorf("post-index store base advanced to %d", m.X[1])
+	}
+}
+
+func TestMachineInfiniteLoopGuard(t *testing.T) {
+	p := asm.NewProgram("spin")
+	p.Label("x")
+	p.MovI(asm.X(0), 1)
+	p.B("x")
+	p.Ret()
+	m := NewMachine(NewArena(16), 4)
+	if err := m.Run(p, 100); err == nil {
+		t.Error("expected step-budget error")
+	}
+}
+
+func TestMachineOutOfBounds(t *testing.T) {
+	p := asm.NewProgram("oob")
+	p.MovI(asm.X(0), 1<<40)
+	p.LdrQ(asm.V(0), asm.X(0), 0)
+	p.Ret()
+	m := NewMachine(NewArena(16), 4)
+	if err := m.Run(p, 10); err == nil {
+		t.Error("expected out-of-bounds error")
+	}
+	p2 := asm.NewProgram("misaligned")
+	p2.MovI(asm.X(0), 2) // not 4-byte aligned
+	p2.LdrQ(asm.V(0), asm.X(0), 0)
+	p2.Ret()
+	if err := m.Run(p2, 10); err == nil {
+		t.Error("expected misalignment error")
+	}
+}
+
+func TestMachineTraceRecording(t *testing.T) {
+	a := NewArena(64)
+	addr := a.Alloc(4)
+	p := asm.NewProgram("trace")
+	p.MovI(asm.X(0), addr)
+	p.LdrQ(asm.V(0), asm.X(0), 0)
+	p.StrQ(asm.V(0), asm.X(0), 0)
+	p.Ret()
+	m := NewMachine(a, 4)
+	m.Record = true
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Trace) != 4 {
+		t.Fatalf("trace length %d, want 4", len(m.Trace))
+	}
+	if !m.Trace[1].HasMem || m.Trace[1].Mem.Store {
+		t.Error("load trace entry wrong")
+	}
+	if !m.Trace[2].HasMem || !m.Trace[2].Mem.Store {
+		t.Error("store trace entry wrong")
+	}
+	if m.Trace[1].Mem.Addr != addr {
+		t.Errorf("trace address %d, want %d", m.Trace[1].Mem.Addr, addr)
+	}
+}
+
+func TestMachineFallOffEnd(t *testing.T) {
+	p := asm.NewProgram("noret")
+	p.MovI(asm.X(0), 1)
+	m := NewMachine(NewArena(16), 4)
+	if err := m.Run(p, 10); err == nil {
+		t.Error("expected fell-off-end error")
+	}
+}
+
+func TestMachineSVELanes(t *testing.T) {
+	a := NewArena(256)
+	src := a.Alloc(16)
+	for i := 0; i < 16; i++ {
+		a.SetFloat32(src+int64(i)*4, float32(i))
+	}
+	p := asm.NewProgram("sve")
+	p.MovI(asm.X(0), src)
+	p.LdrQ(asm.V(0), asm.X(0), 0)
+	p.Ret()
+	m := NewMachine(a, 16)
+	if err := m.Run(p, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.V[0][15] != 15 {
+		t.Errorf("16-lane load lane 15 = %g", m.V[0][15])
+	}
+}

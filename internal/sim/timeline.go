@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"autogemm/internal/asm"
+)
+
+// RenderTimeline draws the pipeline events as an ASCII Gantt chart in
+// the style of the paper's Fig 3: one row per dynamic instruction,
+// dispatch-to-issue shown as dots, issue-to-complete as the class
+// letter (L = load, S = store, F = FMA, A = ALU, P = prefetch).
+// maxRows and maxCycles bound the output for long kernels.
+func RenderTimeline(p *asm.Program, events []Event, maxRows, maxCycles int) string {
+	if maxRows <= 0 {
+		maxRows = 64
+	}
+	if maxCycles <= 0 {
+		maxCycles = 120
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline timeline for %s (first %d instructions, %d cycles)\n",
+		p.Name, maxRows, maxCycles)
+	fmt.Fprintf(&b, "%-28s|%s\n", "instruction", cycleRuler(maxCycles))
+	rows := 0
+	for _, e := range events {
+		if rows >= maxRows {
+			fmt.Fprintf(&b, "... %d more instructions ...\n", len(events)-rows)
+			break
+		}
+		if int(e.Dispatch) >= maxCycles {
+			continue
+		}
+		line := make([]byte, maxCycles)
+		for i := range line {
+			line[i] = ' '
+		}
+		glyph := classGlyph(e.Class)
+		for cyc := e.Dispatch; cyc < e.Issue && int(cyc) < maxCycles; cyc++ {
+			line[cyc] = '.'
+		}
+		for cyc := e.Issue; cyc < e.Complete && int(cyc) < maxCycles; cyc++ {
+			line[cyc] = glyph
+		}
+		mn := instrLabel(p, e.Index)
+		fmt.Fprintf(&b, "%-28s|%s\n", mn, string(line))
+		rows++
+	}
+	return b.String()
+}
+
+func cycleRuler(n int) string {
+	line := make([]byte, n)
+	for i := range line {
+		switch {
+		case i%10 == 0:
+			line[i] = '0' + byte((i/10)%10)
+		default:
+			line[i] = '-'
+		}
+	}
+	return string(line)
+}
+
+func classGlyph(c asm.Class) byte {
+	switch c {
+	case asm.ClassLoad:
+		return 'L'
+	case asm.ClassStore:
+		return 'S'
+	case asm.ClassFMA:
+		return 'F'
+	case asm.ClassPrfm:
+		return 'P'
+	default:
+		return 'A'
+	}
+}
+
+func instrLabel(p *asm.Program, idx int) string {
+	if idx < 0 || idx >= len(p.Instrs) {
+		return "?"
+	}
+	in := &p.Instrs[idx]
+	s := in.Op.String()
+	switch asm.ClassOf(in.Op) {
+	case asm.ClassLoad, asm.ClassFMA:
+		s += " " + in.Dst.String()
+	case asm.ClassStore:
+		s += " " + in.Dst.String()
+	}
+	if len(s) > 26 {
+		s = s[:26]
+	}
+	return s
+}

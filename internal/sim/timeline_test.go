@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"autogemm/internal/asm"
+	"autogemm/internal/hw"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	chip := hw.Didactic()
+	a := NewArena(256)
+	addr := a.Alloc(32)
+	p := asm.NewProgram("tl")
+	p.MovI(asm.X(0), addr)
+	p.LdrQ(asm.V(0), asm.X(0), 0)
+	p.VZero(asm.V(1)).VZero(asm.V(2))
+	p.Fmla(asm.V(1), asm.V(0), asm.V(2), 0)
+	p.StrQ(asm.V(1), asm.X(0), 16)
+	p.Ret()
+	m := NewMachine(a, 4)
+	model := NewModel(chip)
+	model.KeepEvents = true
+	model.AssumeLoadLat = 8
+	res, err := model.RunAndTime(p, m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTimeline(p, res.Events, 16, 60)
+	lines := strings.Split(out, "\n")
+	if len(lines) < 6 {
+		t.Fatalf("timeline too short:\n%s", out)
+	}
+	// The load row must contain L glyphs spanning its 8-cycle latency,
+	// the FMA row F glyphs starting strictly after the Ls end.
+	var loadLine, fmaLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "ldr") {
+			loadLine = l
+		}
+		if strings.HasPrefix(l, "fmla") {
+			fmaLine = l
+		}
+	}
+	if strings.Count(loadLine, "L") != 8 {
+		t.Errorf("load occupancy %d cycles, want 8:\n%s", strings.Count(loadLine, "L"), loadLine)
+	}
+	if !strings.Contains(fmaLine, "F") {
+		t.Errorf("no FMA glyphs:\n%s", fmaLine)
+	}
+	if li, fi := strings.LastIndex(loadLine, "L"), strings.Index(fmaLine, "F"); fi <= li {
+		t.Errorf("FMA at col %d not after its operand load finishing at col %d", fi, li)
+	}
+	// Bounded output for long traces.
+	short := RenderTimeline(p, res.Events, 2, 20)
+	if !strings.Contains(short, "more instructions") {
+		t.Error("row cap not reported")
+	}
+}

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"testing"
+
+	"autogemm/internal/asm"
+	"autogemm/internal/hw"
+)
+
+// timeProgram runs p functionally and times it on the chip.
+func timeProgram(t *testing.T, chip *hw.Chip, build func(a *Arena, p *asm.Program)) TimingResult {
+	t.Helper()
+	a := NewArena(4096)
+	p := asm.NewProgram("t")
+	build(a, p)
+	p.Ret()
+	m := NewMachine(a, chip.Lanes)
+	model := NewModel(chip)
+	model.AssumeLoadLat = chip.LatLoad
+	res, err := model.RunAndTime(p, m, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFMAChainLatency: a dependent FMA chain must cost latency per link,
+// an independent set only throughput.
+func TestFMAChainLatency(t *testing.T) {
+	chip := hw.Didactic() // L_fma = 8, one FMA port
+	const n = 10
+	dep := timeProgram(t, chip, func(a *Arena, p *asm.Program) {
+		p.VZero(asm.V(0)).VZero(asm.V(1))
+		for i := 0; i < n; i++ {
+			p.Fmla(asm.V(0), asm.V(0), asm.V(1), 0) // serial chain
+		}
+	})
+	indep := timeProgram(t, chip, func(a *Arena, p *asm.Program) {
+		for i := 0; i < 12; i++ {
+			p.VZero(asm.V(i))
+		}
+		for i := 0; i < n; i++ {
+			p.Fmla(asm.V(i), asm.V(10), asm.V(11), 0) // independent
+		}
+	})
+	if dep.Cycles < int64(n*chip.LatFMA) {
+		t.Errorf("dependent chain %d cycles, want >= %d", dep.Cycles, n*chip.LatFMA)
+	}
+	if indep.Cycles >= dep.Cycles {
+		t.Errorf("independent FMAs (%d) not faster than chain (%d)", indep.Cycles, dep.Cycles)
+	}
+}
+
+// TestPortThroughput: 2 FMA ports must roughly halve the time of
+// independent FMA streams versus 1 port.
+func TestPortThroughput(t *testing.T) {
+	one := hw.Didactic()
+	two := hw.Didactic()
+	two.FMAPorts = 2
+	two.IssueWidth = 8
+	const n = 64
+	run := func(chip *hw.Chip) int64 {
+		return timeProgram(t, chip, func(a *Arena, p *asm.Program) {
+			for i := 0; i < 16; i++ {
+				p.VZero(asm.V(i))
+			}
+			for i := 0; i < n; i++ {
+				p.Fmla(asm.V(i%16), asm.V(16+i%8), asm.V(24+i%8), 0)
+			}
+		}).Cycles
+	}
+	t1, t2 := run(one), run(two)
+	if t2 >= t1 {
+		t.Errorf("2 ports (%d cycles) not faster than 1 (%d)", t2, t1)
+	}
+	ratio := float64(t1) / float64(t2)
+	if ratio < 1.5 {
+		t.Errorf("2-port speedup %.2f, want >= 1.5", ratio)
+	}
+}
+
+// TestWARHazardModeling: on a no-rename chip, a load overwriting a
+// register a pending FMA consumes stalls; with renaming it does not.
+func TestWARHazardModeling(t *testing.T) {
+	build := func(a *Arena, p *asm.Program) {
+		addr := a.Alloc(64)
+		p.MovI(asm.X(0), addr)
+		p.VZero(asm.V(0)).VZero(asm.V(1)).VZero(asm.V(2))
+		for i := 0; i < 8; i++ {
+			p.Fmla(asm.V(0), asm.V(1), asm.V(2), 0)
+			p.LdrQ(asm.V(1), asm.X(0), 0) // WAR against the FMA above
+		}
+	}
+	noRename := hw.Didactic()
+	rename := hw.Didactic()
+	rename.RenameWAR = true
+	a := timeProgram(t, noRename, build).Cycles
+	b := timeProgram(t, rename, build).Cycles
+	if b > a {
+		t.Errorf("renamed run slower (%d) than unrenamed (%d)", b, a)
+	}
+}
+
+// TestWindowLimitsOverlap: a tiny OoO window serializes independent work
+// that a large window overlaps.
+func TestWindowLimitsOverlap(t *testing.T) {
+	small := hw.Didactic()
+	small.Window = 2
+	large := hw.Didactic()
+	large.Window = 512
+	build := func(a *Arena, p *asm.Program) {
+		for i := 0; i < 16; i++ {
+			p.VZero(asm.V(i))
+		}
+		for i := 0; i < 40; i++ {
+			p.Fmla(asm.V(i%8), asm.V(8+i%4), asm.V(12+i%4), 0)
+		}
+	}
+	ts := timeProgram(t, small, build).Cycles
+	tl := timeProgram(t, large, build).Cycles
+	if tl >= ts {
+		t.Errorf("large window (%d) not faster than window=2 (%d)", tl, ts)
+	}
+}
+
+// TestLoadLatencyFromCaches: with the cache hierarchy active, the first
+// touch of a line costs more than a rehit.
+func TestLoadLatencyFromCaches(t *testing.T) {
+	chip := hw.KP920()
+	arena := NewArena(4096)
+	addr := arena.Alloc(64)
+	p := asm.NewProgram("c")
+	p.MovI(asm.X(0), addr)
+	p.LdrQ(asm.V(0), asm.X(0), 0)
+	p.Ret()
+	m := NewMachine(arena, chip.Lanes)
+	model := NewModel(chip)
+
+	m.Record = true
+	if err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := model.Simulate(p, m.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := model.Simulate(p, m.Trace) // same model: caches now warm
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cycles <= warm.Cycles {
+		t.Errorf("cold (%d) not slower than warm (%d)", cold.Cycles, warm.Cycles)
+	}
+	if cold.DRAMLines == 0 {
+		t.Error("cold run recorded no DRAM traffic")
+	}
+	if warm.DRAMLines != 0 {
+		t.Error("warm run recorded DRAM traffic")
+	}
+}
+
+// TestEventsTimeline: events must be causally ordered per instruction.
+func TestEventsTimeline(t *testing.T) {
+	chip := hw.Didactic()
+	a := NewArena(256)
+	addr := a.Alloc(16)
+	p := asm.NewProgram("ev")
+	p.MovI(asm.X(0), addr)
+	p.LdrQ(asm.V(0), asm.X(0), 0)
+	p.VZero(asm.V(1)).VZero(asm.V(2))
+	p.Fmla(asm.V(1), asm.V(0), asm.V(2), 0)
+	p.StrQ(asm.V(1), asm.X(0), 0)
+	p.Ret()
+	m := NewMachine(a, 4)
+	model := NewModel(chip)
+	model.KeepEvents = true
+	model.AssumeLoadLat = 8
+	res, err := model.RunAndTime(p, m, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no events")
+	}
+	for _, e := range res.Events {
+		if e.Issue < e.Dispatch || e.Complete <= e.Issue {
+			t.Errorf("event out of order: %+v", e)
+		}
+	}
+	// The FMA depends on the load: it must issue after load completion.
+	var loadDone, fmaIssue int64
+	for _, e := range res.Events {
+		switch e.Class {
+		case asm.ClassLoad:
+			loadDone = e.Complete
+		case asm.ClassFMA:
+			if p.Instrs[e.Index].Op == asm.OpFmla {
+				fmaIssue = e.Issue
+			}
+		}
+	}
+	if fmaIssue < loadDone {
+		t.Errorf("FMA issued at %d before its operand load completed at %d", fmaIssue, loadDone)
+	}
+}
+
+// TestDeterminism: identical runs give identical cycle counts.
+func TestDeterminism(t *testing.T) {
+	chip := hw.Graviton2()
+	r1 := timeProgram(t, chip, buildMix)
+	r2 := timeProgram(t, chip, buildMix)
+	if r1.Cycles != r2.Cycles || r1.DynInstrs != r2.DynInstrs {
+		t.Errorf("nondeterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func buildMix(a *Arena, p *asm.Program) {
+	addr := a.Alloc(256)
+	p.MovI(asm.X(0), addr)
+	p.MovI(asm.X(29), 10)
+	p.VZero(asm.V(0)).VZero(asm.V(1)).VZero(asm.V(2))
+	p.Label("l")
+	p.LdrQPost(asm.V(1), asm.X(0), 16)
+	p.Fmla(asm.V(0), asm.V(1), asm.V(2), 0)
+	p.Subs(asm.X(29), asm.X(29), 1)
+	p.Bne("l")
+}
+
+// TestPeakThroughputBound: cycles can never undercut the FMA port bound —
+// the invariant the efficiency numbers rest on.
+func TestPeakThroughputBound(t *testing.T) {
+	for _, chip := range append(hw.All(), hw.Didactic()) {
+		const n = 200
+		res := timeProgram(t, chip, func(a *Arena, p *asm.Program) {
+			for i := 0; i < 24; i++ {
+				p.VZero(asm.V(i))
+			}
+			for i := 0; i < n; i++ {
+				p.Fmla(asm.V(i%24), asm.V(24+i%4), asm.V(28+i%4), 0)
+			}
+		})
+		bound := int64(n / chip.FMAPorts)
+		if res.Cycles < bound {
+			t.Errorf("%s: %d cycles beats FMA port bound %d", chip.Name, res.Cycles, bound)
+		}
+	}
+}
+
+// TestPortUtilization: a pure FMA stream saturates the FMA ports; adding
+// loads raises load utilization without touching FMA counts.
+func TestPortUtilization(t *testing.T) {
+	chip := hw.Graviton2()
+	res := timeProgram(t, chip, func(a *Arena, p *asm.Program) {
+		for i := 0; i < 24; i++ {
+			p.VZero(asm.V(i))
+		}
+		for i := 0; i < 400; i++ {
+			p.Fmla(asm.V(i%24), asm.V(24+i%4), asm.V(28+i%4), 0)
+		}
+	})
+	if u := res.FMAUtilization(chip); u < 0.85 || u > 1.0 {
+		t.Errorf("FMA utilization %.2f for a saturating stream", u)
+	}
+	if res.IssuedByClass[asm.ClassFMA] != 424 {
+		t.Errorf("FMA issue count %d", res.IssuedByClass[asm.ClassFMA])
+	}
+	if u := res.LoadUtilization(chip); u != 0 {
+		t.Errorf("load utilization %.2f with no loads", u)
+	}
+}

@@ -1,0 +1,211 @@
+package tiling
+
+import (
+	"fmt"
+
+	"autogemm/internal/mkernel"
+	"autogemm/internal/perfmodel"
+)
+
+// DefaultStaticTile returns the fixed main tile the static strategies
+// use: 5×16 for NEON (OpenBLAS's armv8 sgemm kernel shape, the tile of
+// the Fig 5 example) and the highest-AI preferred tile otherwise.
+func DefaultStaticTile(lanes int) mkernel.Tile {
+	if lanes == 4 {
+		return mkernel.Tile{MR: 5, NR: 16}
+	}
+	return mkernel.PreferredTiles(lanes)[0]
+}
+
+// OpenBLASStyle tiles with a single fixed shape and pads the edges
+// (Fig 5-a): corner tiles compute full-size results into packing padding,
+// wasting the overhang work.
+type OpenBLASStyle struct {
+	T     mkernel.Tile
+	Lanes int
+}
+
+// Name implements Strategy.
+func (s OpenBLASStyle) Name() string { return "openblas-pad" }
+
+// Tile implements Strategy.
+func (s OpenBLASStyle) Tile(m, n, kc int) (Tiling, error) {
+	if m <= 0 || n <= 0 {
+		return Tiling{}, fmt.Errorf("tiling: empty block %dx%d", m, n)
+	}
+	return Tiling{MC: m, NC: n, Strategy: s.Name(), Panels: []Panel{
+		{M: m, N: n, Tile: s.T, Padded: true},
+	}}, nil
+}
+
+// LIBXSMMStyle tiles the interior with a fixed shape and the edges with
+// exact-fit smaller tiles (Fig 5-b). Edge tiles can have very low
+// arithmetic intensity.
+type LIBXSMMStyle struct {
+	T     mkernel.Tile
+	Lanes int
+}
+
+// Name implements Strategy.
+func (s LIBXSMMStyle) Name() string { return "libxsmm-edge" }
+
+// Tile implements Strategy.
+func (s LIBXSMMStyle) Tile(m, n, kc int) (Tiling, error) {
+	if m <= 0 || n <= 0 {
+		return Tiling{}, fmt.Errorf("tiling: empty block %dx%d", m, n)
+	}
+	return Tiling{MC: m, NC: n, Strategy: s.Name(), Panels: []Panel{
+		{M: m, N: n, Tile: s.T},
+	}}, nil
+}
+
+// DMT is the paper's Dynamic Micro-Tiling (Algorithm 1): split the block
+// into up to four panels by (n_front, m_front_up, m_back_up), choose the
+// best uniform tile per panel by projected runtime, and take the split
+// minimizing the total (Eqn 13). The projection — and therefore the
+// chosen tiling — depends on the chip parameters, reproducing the
+// paper's observation that the best tiling differs between high-σ_AI
+// (KP920) and low-σ_AI (Graviton2/M2) hardware.
+type DMT struct {
+	Params perfmodel.Params
+	Opt    perfmodel.Opt
+
+	// Candidates narrows the tile set considered by T(m,n); nil means
+	// every generatable tile (preferred tiles first is implicit in cost).
+	Candidates []mkernel.Tile
+}
+
+// Name implements Strategy.
+func (d *DMT) Name() string { return "dmt" }
+
+type panelChoice struct {
+	cost float64
+	tile mkernel.Tile
+}
+
+// Tile implements Strategy.
+func (d *DMT) Tile(m, n, kc int) (Tiling, error) {
+	if m <= 0 || n <= 0 {
+		return Tiling{}, fmt.Errorf("tiling: empty block %dx%d", m, n)
+	}
+	lanes := d.Params.Lanes
+	nQ := quantN(n, lanes)
+	cands := d.Candidates
+	if cands == nil {
+		for _, t := range mkernel.FeasibleTiles(lanes) {
+			if !t.Generatable(lanes) {
+				continue
+			}
+			// With rotation enabled, reserve spare registers for the
+			// rotated A/B buffers (the reason Table II excludes shapes
+			// like 7×12 that fill the register file exactly): a tile with
+			// no slack cannot pipeline and stalls on every reload.
+			if d.Opt.Rotate && t.RegistersNeeded(lanes) > 30 {
+				continue
+			}
+			cands = append(cands, t)
+		}
+	}
+
+	// Memoize T(m', n') over the lane-quantized n grid.
+	nSteps := nQ/lanes + 1
+	memo := make([]panelChoice, (m+1)*nSteps)
+	for i := range memo {
+		memo[i].cost = -1
+	}
+	T := func(mm, nn int) panelChoice {
+		if mm == 0 || nn == 0 {
+			return panelChoice{cost: 0}
+		}
+		idx := mm*nSteps + nn/lanes
+		if memo[idx].cost >= 0 {
+			return memo[idx]
+		}
+		best := panelChoice{cost: -1}
+		for _, t := range cands {
+			if t.MR > mm || t.NR > nn {
+				continue
+			}
+			c := d.gridCost(t, mm, nn, kc)
+			if best.cost < 0 || c < best.cost {
+				best = panelChoice{cost: c, tile: t}
+			}
+		}
+		if best.cost < 0 {
+			// Fall back to the smallest strip tile.
+			t := mkernel.Tile{MR: min(mm, mkernel.MaxMR), NR: lanes}
+			best = panelChoice{cost: d.gridCost(t, mm, nn, kc), tile: t}
+		}
+		memo[idx] = best
+		return best
+	}
+
+	// Algorithm 1 iterates the full (n_front, m_front_up, m_back_up)
+	// product; the front and back column costs are independent given
+	// n_front, so the search decomposes exactly into two 1-D minima.
+	bestCost := -1.0
+	var bestNF, bestMFU, bestMBU int
+	columnBest := func(width int) (float64, int) {
+		bc, barg := -1.0, 0
+		for mu := 0; mu <= m; mu++ {
+			c := T(mu, width).cost + T(m-mu, width).cost
+			if bc < 0 || c < bc {
+				bc, barg = c, mu
+			}
+		}
+		return bc, barg
+	}
+	for nf := 0; nf <= nQ; nf += lanes {
+		fc, fArg := columnBest(nf)
+		bc, bArg := columnBest(nQ - nf)
+		if c := fc + bc; bestCost < 0 || c < bestCost {
+			bestCost, bestNF, bestMFU, bestMBU = c, nf, fArg, bArg
+		}
+	}
+
+	tl := Tiling{MC: m, NC: n, Strategy: d.Name()}
+	addPanel := func(row, col, pm, pn int) {
+		if pm <= 0 || pn <= 0 {
+			return
+		}
+		// Clip the logical width to the true block edge; lane padding is
+		// reapplied during expansion.
+		if col+pn > n {
+			pn = n - col
+		}
+		if pn <= 0 {
+			return
+		}
+		tl.Panels = append(tl.Panels, Panel{
+			Row: row, Col: col, M: pm, N: pn, Tile: T(pm, quantN(pn, lanes)).tile,
+		})
+	}
+	addPanel(0, 0, bestMFU, bestNF)
+	addPanel(bestMFU, 0, m-bestMFU, bestNF)
+	addPanel(0, bestNF, bestMBU, nQ-bestNF)
+	addPanel(bestMBU, bestNF, m-bestMBU, nQ-bestNF)
+	return tl, nil
+}
+
+// gridCost projects covering an mm×nn panel uniformly with tile t,
+// including the narrowed edge tiles for the m and n remainders (the
+// T(m, n) inner function of Algorithm 1, line 14, generalized to
+// non-divisible extents).
+func (d *DMT) gridCost(t mkernel.Tile, mm, nn, kc int) float64 {
+	rows, mrem := mm/t.MR, mm%t.MR
+	cols, nrem := nn/t.NR, nn%t.NR
+	cost := 0.0
+	if rows > 0 && cols > 0 {
+		cost += float64(rows) * d.Params.SequenceTime(t, kc, cols, d.Opt)
+	}
+	if nrem > 0 && rows > 0 {
+		cost += float64(rows) * d.Params.TileTime(mkernel.Tile{MR: t.MR, NR: nrem}, kc, d.Opt)
+	}
+	if mrem > 0 && cols > 0 {
+		cost += d.Params.SequenceTime(mkernel.Tile{MR: mrem, NR: t.NR}, kc, cols, d.Opt)
+	}
+	if mrem > 0 && nrem > 0 {
+		cost += d.Params.TileTime(mkernel.Tile{MR: mrem, NR: nrem}, kc, d.Opt)
+	}
+	return cost
+}

@@ -1,0 +1,334 @@
+// Package tuner searches the algorithm parameter space of Table III —
+// cache block shape (m_c, n_c, k_c), loop order σ_order and packing mode
+// σ_packing — for a given problem and chip, standing in for the paper's
+// patched-TVM auto-tuning flow (§IV-C). Candidates are first scored with
+// the analytic Eqn-13 performance model; only the ones within a pruning
+// ratio of the best model score are evaluated on the cycle simulator.
+// The paper reports that this pruning "drops the tuning time
+// dramatically"; the Result records both counters so the effect is
+// measurable (examples/tuning).
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"autogemm/internal/cache"
+	"autogemm/internal/core"
+	"autogemm/internal/hw"
+	"autogemm/internal/perfmodel"
+	"autogemm/internal/tiling"
+)
+
+// Config controls a tuning run.
+type Config struct {
+	Chip    *hw.Chip
+	M, N, K int
+
+	// MaxEvals caps the simulator evaluations (0 = 24).
+	MaxEvals int
+	// PruneRatio keeps candidates whose model cost is within this factor
+	// of the best model cost (0 = 1.20). Setting UseModel false disables
+	// pruning entirely, evaluating up to MaxEvals candidates blindly —
+	// the unpatched-TVM comparison mode.
+	PruneRatio float64
+	UseModel   bool
+
+	// Anneal additionally refines the model-best candidate with a short
+	// deterministic simulated-annealing walk over neighbouring
+	// configurations (the AutoTVM-style search of §II-B).
+	Anneal bool
+	Seed   int64
+}
+
+// Candidate is one point of the search space.
+type Candidate struct {
+	MC, NC, KC int
+	Order      core.LoopOrder
+	Pack       core.PackMode
+}
+
+// Options converts the candidate into core options with the library's
+// optimizations enabled.
+func (c Candidate) Options() core.Options {
+	return core.Options{
+		MC: c.MC, NC: c.NC, KC: c.KC, Order: c.Order, Pack: c.Pack,
+		Rotate: true, Fuse: true,
+	}
+}
+
+// Record is one evaluated candidate.
+type Record struct {
+	Candidate Candidate
+	ModelCost float64
+	Cycles    float64
+	GFLOPS    float64
+}
+
+// Result summarizes a tuning run.
+type Result struct {
+	Best      Candidate
+	Estimate  core.Estimate
+	Records   []Record // evaluated candidates, best first
+	Generated int      // candidates enumerated
+	Pruned    int      // rejected by the model before simulation
+	Evaluated int      // simulator evaluations
+}
+
+// Tune searches the space and returns the best configuration found.
+func Tune(cfg Config) (Result, error) {
+	if cfg.Chip == nil || cfg.M <= 0 || cfg.N <= 0 || cfg.K <= 0 {
+		return Result{}, fmt.Errorf("tuner: invalid problem")
+	}
+	if cfg.MaxEvals <= 0 {
+		cfg.MaxEvals = 24
+	}
+	if cfg.PruneRatio <= 0 {
+		cfg.PruneRatio = 1.20
+	}
+
+	cands := enumerate(cfg)
+	res := Result{Generated: len(cands)}
+
+	// The model cost is independent of the loop order, and block shapes
+	// repeat across candidates; memoize per (m_c, n_c, k_c, pack).
+	type costKey struct {
+		mc, nc, kc int
+		pack       core.PackMode
+	}
+	costMemo := make(map[costKey]float64)
+	scoredCands := make([]scored, 0, len(cands))
+	for _, c := range cands {
+		key := costKey{c.MC, c.NC, c.KC, c.Pack}
+		cost, ok := costMemo[key]
+		if !ok {
+			cost = modelCost(cfg.Chip, cfg.M, cfg.N, cfg.K, c)
+			costMemo[key] = cost
+		}
+		scoredCands = append(scoredCands, scored{c, cost})
+	}
+	sort.SliceStable(scoredCands, func(i, j int) bool { return scoredCands[i].cost < scoredCands[j].cost })
+
+	keep := scoredCands
+	if cfg.UseModel && len(scoredCands) > 0 {
+		limit := scoredCands[0].cost * cfg.PruneRatio
+		n := sort.Search(len(scoredCands), func(i int) bool { return scoredCands[i].cost > limit })
+		keep = scoredCands[:n]
+		res.Pruned = len(scoredCands) - n
+	}
+	if len(keep) > cfg.MaxEvals {
+		res.Pruned += len(keep) - cfg.MaxEvals
+		keep = keep[:cfg.MaxEvals]
+	}
+
+	if cfg.Anneal && cfg.UseModel && len(keep) > 0 {
+		keep = annealAround(cfg, keep, cfg.MaxEvals)
+	}
+
+	bestCycles := math.Inf(1)
+	var bestEst core.Estimate
+	for _, sc := range keep {
+		plan, err := core.NewPlan(cfg.Chip, cfg.M, cfg.N, cfg.K, sc.c.Options())
+		if err != nil {
+			continue
+		}
+		est, err := plan.Estimate()
+		if err != nil {
+			continue
+		}
+		res.Evaluated++
+		res.Records = append(res.Records, Record{
+			Candidate: sc.c, ModelCost: sc.cost, Cycles: est.Cycles, GFLOPS: est.GFLOPS,
+		})
+		if est.Cycles < bestCycles {
+			bestCycles = est.Cycles
+			bestEst = est
+			res.Best = sc.c
+		}
+	}
+	if res.Evaluated == 0 {
+		return res, fmt.Errorf("tuner: no evaluable candidates for %dx%dx%d", cfg.M, cfg.N, cfg.K)
+	}
+	sort.SliceStable(res.Records, func(i, j int) bool { return res.Records[i].Cycles < res.Records[j].Cycles })
+	res.Estimate = bestEst
+	return res, nil
+}
+
+// enumerate builds the candidate grid: block extents from the divisor
+// sets of M, N, K (the paper searches m_c | M etc.), every loop order,
+// and the three packing modes, deduplicated.
+func enumerate(cfg Config) []Candidate {
+	lanes := cfg.Chip.Lanes
+	mcs := blockSizes(cfg.M, 1, 256)
+	ncs := blockSizes(cfg.N, lanes, 512)
+	kcs := blockSizes(cfg.K, 1, 256)
+	var out []Candidate
+	for _, mc := range mcs {
+		for _, nc := range ncs {
+			for _, kc := range kcs {
+				for _, order := range core.AllLoopOrders() {
+					for _, pack := range []core.PackMode{core.PackNone, core.PackOnline, core.PackOffline} {
+						out = append(out, Candidate{MC: mc, NC: nc, KC: kc, Order: order, Pack: pack})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// blockSizes returns candidate block extents for a dimension: divisors
+// (the paper's constraint n % n_c == 0), capped, quantized to min, plus
+// the full extent.
+func blockSizes(n, quantum, cap int) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(v int) {
+		if v < quantum {
+			v = quantum
+		}
+		v = v / quantum * quantum
+		if v <= 0 || v > cap && v != n || seen[v] {
+			return
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			add(d)
+			add(n / d)
+		}
+	}
+	add(n)
+	sort.Ints(out)
+	// Keep the grid tractable: at most 8 sizes, spread across the range.
+	if len(out) > 8 {
+		step := float64(len(out)-1) / 7
+		sel := make([]int, 0, 8)
+		for i := 0; i < 8; i++ {
+			sel = append(sel, out[int(math.Round(float64(i)*step))])
+		}
+		out = sel
+	}
+	return out
+}
+
+// modelCost scores a candidate with the analytic model: the Eqn-13 DMT
+// cost of each distinct block at its residency load latency, plus the
+// packing bytes — no simulation.
+func modelCost(chip *hw.Chip, m, n, k int, c Candidate) float64 {
+	params := perfmodel.FromChip(chip)
+	hier := cache.NewHierarchy(chip)
+	opt := perfmodel.Opt{Rotate: true, Fuse: true}
+
+	mBlocks := blocksOf(m, c.MC)
+	nBlocks := blocksOf(n, c.NC)
+	kBlocks := blocksOf(k, c.KC)
+
+	total := 0.0
+	for _, mb := range mBlocks {
+		for _, nb := range nBlocks {
+			for _, kb := range kBlocks {
+				ws := kb.size*quantUp(nb.size, chip.Lanes)*4 + 12*kb.size*4
+				if c.Pack == core.PackNone && n > quantUp(nb.size, chip.Lanes) {
+					ws *= 2
+				}
+				lat := hier.LatencyOfLevel(hier.ResidencyLevel(ws))
+				p := params.WithLoadLatency(float64(lat))
+				d := tiling.DMT{Params: p, Opt: opt}
+				tl, err := d.Tile(mb.size, nb.size, kb.size)
+				if err != nil {
+					return math.Inf(1)
+				}
+				cost := tl.Cost(p, kb.size, opt) * float64(mb.count*nb.count*kb.count)
+				if c.Pack == core.PackOnline {
+					bytes := float64(mb.size*kb.size+kb.size*nb.size) * 4
+					cost += 2 * bytes / (chip.DRAMGBs / chip.FreqGHz) * float64(mb.count*nb.count*kb.count)
+				}
+				total += cost
+			}
+		}
+	}
+	return total
+}
+
+type blockDim struct{ size, count int }
+
+// blocksOf decomposes a dimension into block sizes with multiplicity.
+func blocksOf(n, bs int) []blockDim {
+	if bs <= 0 || bs >= n {
+		return []blockDim{{n, 1}}
+	}
+	full := n / bs
+	rem := n % bs
+	out := []blockDim{{bs, full}}
+	if rem > 0 {
+		out = append(out, blockDim{rem, 1})
+	}
+	return out
+}
+
+// scored pairs a candidate with its model cost.
+type scored struct {
+	c    Candidate
+	cost float64
+}
+
+// annealAround runs a short deterministic simulated-annealing walk in
+// model-cost space starting from the best pruned candidate, merging any
+// improvements it finds into the evaluation set.
+func annealAround(cfg Config, keep []scored, budget int) []scored {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	cur := keep[0]
+	temp := cur.cost * 0.25
+	seen := map[Candidate]bool{}
+	for _, k := range keep {
+		seen[k.c] = true
+	}
+	for step := 0; step < 64; step++ {
+		next := mutate(cfg, cur.c, rng)
+		cost := modelCost(cfg.Chip, cfg.M, cfg.N, cfg.K, next)
+		if cost < cur.cost || rng.Float64() < math.Exp((cur.cost-cost)/math.Max(temp, 1)) {
+			cur = scored{next, cost}
+			if !seen[next] && len(keep) < budget {
+				keep = append(keep, cur)
+				seen[next] = true
+			}
+		}
+		temp *= 0.92
+	}
+	return keep
+}
+
+// mutate perturbs one parameter of a candidate.
+func mutate(cfg Config, c Candidate, rng *rand.Rand) Candidate {
+	lanes := cfg.Chip.Lanes
+	switch rng.Intn(5) {
+	case 0:
+		c.MC = clampDim(c.MC+(rng.Intn(3)-1)*8, 1, cfg.M)
+	case 1:
+		c.NC = clampDim(c.NC+(rng.Intn(3)-1)*2*lanes, lanes, quantUp(cfg.N, lanes))
+	case 2:
+		c.KC = clampDim(c.KC+(rng.Intn(3)-1)*8, 1, cfg.K)
+	case 3:
+		c.Order = core.AllLoopOrders()[rng.Intn(6)]
+	default:
+		c.Pack = core.PackMode(rng.Intn(3))
+	}
+	return c
+}
+
+func clampDim(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func quantUp(n, lanes int) int { return (n + lanes - 1) / lanes * lanes }

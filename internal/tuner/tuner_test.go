@@ -1,0 +1,174 @@
+package tuner
+
+import (
+	"testing"
+
+	"autogemm/internal/core"
+	"autogemm/internal/hw"
+	"autogemm/internal/refgemm"
+)
+
+// TestTuneImprovesOnDefault: the tuned configuration is at least as fast
+// as the automatic defaults on an awkward shape.
+func TestTuneImprovesOnDefault(t *testing.T) {
+	chip := hw.KP920()
+	const m, n, k = 60, 200, 36
+	res, err := Tune(Config{Chip: chip, M: m, N: n, K: k, UseModel: true, MaxEvals: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := core.NewPlan(chip, m, n, k, core.AutoOptions(chip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defEst, err := def.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate.Cycles > defEst.Cycles*1.02 {
+		t.Errorf("tuned %.0f cycles worse than default %.0f", res.Estimate.Cycles, defEst.Cycles)
+	}
+}
+
+// TestPruningReducesEvaluations: with the Eqn-13 model on, far fewer
+// candidates reach the simulator, and the result is not meaningfully
+// worse — the paper's §IV-C claim.
+func TestPruningReducesEvaluations(t *testing.T) {
+	chip := hw.Graviton2()
+	const m, n, k = 64, 64, 64
+	pruned, err := Tune(Config{Chip: chip, M: m, N: n, K: k, UseModel: true, MaxEvals: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := Tune(Config{Chip: chip, M: m, N: n, K: k, UseModel: false, MaxEvals: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Pruned == 0 {
+		t.Error("model pruning rejected nothing")
+	}
+	if pruned.Evaluated >= blind.Evaluated {
+		t.Errorf("pruned run evaluated %d >= blind run %d", pruned.Evaluated, blind.Evaluated)
+	}
+	if pruned.Estimate.Cycles > blind.Estimate.Cycles*1.10 {
+		t.Errorf("pruned best %.0f more than 10%% worse than blind best %.0f",
+			pruned.Estimate.Cycles, blind.Estimate.Cycles)
+	}
+}
+
+// TestTunedPlanIsCorrect: the tuned parameters still compute the right
+// answer.
+func TestTunedPlanIsCorrect(t *testing.T) {
+	chip := hw.M2()
+	const m, n, k = 26, 36, 20
+	res, err := Tune(Config{Chip: chip, M: m, N: n, K: k, UseModel: true, MaxEvals: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(chip, m, n, k, res.Best.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	refgemm.Fill(a, m, k, k, 1)
+	refgemm.Fill(b, k, n, n, 2)
+	refgemm.Fill(c, m, n, n, 3)
+	want := make([]float32, m*n)
+	copy(want, c)
+	refgemm.GEMM(m, n, k, a, k, b, n, want, n)
+	if err := plan.Run(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if e := refgemm.MaxRelErr(c, want, m, n, n, n); e > refgemm.Tolerance {
+		t.Errorf("tuned plan wrong: %.3g", e)
+	}
+}
+
+// TestAnnealDeterministic: annealing with the same seed yields the same
+// result.
+func TestAnnealDeterministic(t *testing.T) {
+	cfg := Config{Chip: hw.KP920(), M: 40, N: 56, K: 24,
+		UseModel: true, Anneal: true, Seed: 7, MaxEvals: 10}
+	r1, err := Tune(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Tune(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Best != r2.Best || r1.Estimate.Cycles != r2.Estimate.Cycles {
+		t.Errorf("annealing nondeterministic: %+v vs %+v", r1.Best, r2.Best)
+	}
+}
+
+// TestTuneValidation rejects degenerate problems.
+func TestTuneValidation(t *testing.T) {
+	if _, err := Tune(Config{Chip: hw.KP920(), M: 0, N: 4, K: 4}); err == nil {
+		t.Error("accepted M=0")
+	}
+	if _, err := Tune(Config{M: 4, N: 4, K: 4}); err == nil {
+		t.Error("accepted nil chip")
+	}
+}
+
+// TestBlockSizes checks the divisor-based grid generation.
+func TestBlockSizes(t *testing.T) {
+	sizes := blockSizes(64, 4, 256)
+	if len(sizes) == 0 || len(sizes) > 8 {
+		t.Fatalf("blockSizes(64) = %v", sizes)
+	}
+	for _, s := range sizes {
+		if s%4 != 0 {
+			t.Errorf("size %d not lane-quantized", s)
+		}
+	}
+	last := sizes[len(sizes)-1]
+	if last != 64 {
+		t.Errorf("full extent missing: %v", sizes)
+	}
+}
+
+// TestRecordsSorted: records come back best-first.
+func TestRecordsSorted(t *testing.T) {
+	res, err := Tune(Config{Chip: hw.KP920(), M: 32, N: 32, K: 32, UseModel: true, MaxEvals: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i].Cycles < res.Records[i-1].Cycles {
+			t.Error("records not sorted by cycles")
+		}
+	}
+	if res.Generated < res.Evaluated {
+		t.Error("generated < evaluated")
+	}
+}
+
+// TestTunerFindsGlobalOptimum: on a problem small enough to evaluate the
+// ENTIRE candidate space on the simulator, the model-pruned search
+// returns a configuration within a whisker of the true optimum.
+func TestTunerFindsGlobalOptimum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	chip := hw.KP920()
+	const m, n, k = 16, 16, 16
+	full, err := Tune(Config{Chip: chip, M: m, N: n, K: k, UseModel: false, MaxEvals: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Evaluated < full.Generated/2 {
+		t.Fatalf("exhaustive run evaluated %d of %d", full.Evaluated, full.Generated)
+	}
+	pruned, err := Tune(Config{Chip: chip, M: m, N: n, K: k, UseModel: true, MaxEvals: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Estimate.Cycles > full.Estimate.Cycles*1.05 {
+		t.Errorf("pruned best %.0f cycles vs global optimum %.0f (>5%% off)",
+			pruned.Estimate.Cycles, full.Estimate.Cycles)
+	}
+}

@@ -1,0 +1,67 @@
+package verify
+
+import (
+	"testing"
+
+	"autogemm/internal/hw"
+	"autogemm/internal/refgemm"
+)
+
+// TestSweepAllChipsClean: the §V process passes on every evaluated chip.
+func TestSweepAllChipsClean(t *testing.T) {
+	for _, chip := range hw.All() {
+		rep, err := Run(Config{Chip: chip, Cases: 12, MaxDim: 40, Seed: 7, Variants: true})
+		if err != nil {
+			t.Fatalf("%s: %v", chip.Name, err)
+		}
+		if len(rep.Failures) != 0 {
+			for _, f := range rep.Failures {
+				t.Errorf("%s", f.String())
+			}
+		}
+		if rep.Checks == 0 {
+			t.Errorf("%s: no checks performed", chip.Name)
+		}
+		if rep.MaxRelErr > refgemm.Tolerance {
+			t.Errorf("%s: max rel err %.3g", chip.Name, rep.MaxRelErr)
+		}
+	}
+}
+
+// TestDeterministicCases: the same seed regenerates the same sweep.
+func TestDeterministicCases(t *testing.T) {
+	chip := hw.KP920()
+	r1, err := Run(Config{Chip: chip, Cases: 5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Config{Chip: chip, Cases: 5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Checks != r2.Checks || r1.MaxRelErr != r2.MaxRelErr {
+		t.Errorf("sweep not deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestConfigValidation rejects a nil chip and defaults the counts.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil chip accepted")
+	}
+	rep, err := Run(Config{Chip: hw.M2(), Cases: 0, MaxDim: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cases != 25 {
+		t.Errorf("default cases = %d, want 25", rep.Cases)
+	}
+}
+
+// TestFailureString renders both error kinds.
+func TestFailureString(t *testing.T) {
+	f := Failure{Case: Case{M: 1, N: 2, K: 3}, Provider: "X", Chip: "Y", RelErr: 0.5}
+	if f.String() == "" {
+		t.Error("empty failure string")
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import "fmt"
+
+// Conv2D describes one convolution layer. The paper's irregular GEMMs
+// come from lowering such layers with im2col (§I, Table V); this type
+// performs that lowering so DNN workloads can be specified by their
+// convolution parameters and checked against the published shapes.
+type Conv2D struct {
+	Name             string
+	InC, OutC        int // channels
+	InH, InW         int // input spatial size
+	KH, KW           int // kernel size
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutH returns the output height.
+func (c Conv2D) OutH() int { return (c.InH+2*c.PadH-c.KH)/c.StrideH + 1 }
+
+// OutW returns the output width.
+func (c Conv2D) OutW() int { return (c.InW+2*c.PadW-c.KW)/c.StrideW + 1 }
+
+// Im2ColGEMM returns the GEMM this layer lowers to: the filter matrix
+// (OutC × InC·KH·KW) times the im2col patch matrix
+// (InC·KH·KW × OutH·OutW), i.e. M = OutC, N = OutH·OutW, K = InC·KH·KW.
+func (c Conv2D) Im2ColGEMM() Shape {
+	return Shape{
+		Name: c.Name,
+		M:    c.OutC,
+		N:    c.OutH() * c.OutW(),
+		K:    c.InC * c.KH * c.KW,
+	}
+}
+
+// Validate checks the parameters are physically meaningful.
+func (c Conv2D) Validate() error {
+	switch {
+	case c.InC < 1 || c.OutC < 1:
+		return fmt.Errorf("workload: conv %s: channels must be positive", c.Name)
+	case c.KH < 1 || c.KW < 1 || c.KH > c.InH+2*c.PadH || c.KW > c.InW+2*c.PadW:
+		return fmt.Errorf("workload: conv %s: kernel does not fit input", c.Name)
+	case c.StrideH < 1 || c.StrideW < 1:
+		return fmt.Errorf("workload: conv %s: strides must be positive", c.Name)
+	case c.PadH < 0 || c.PadW < 0:
+		return fmt.Errorf("workload: conv %s: negative padding", c.Name)
+	}
+	return nil
+}
+
+// ResNet50Convs returns representative convolution layers of ResNet-50
+// (batch 1, 224×224 input) whose im2col lowerings are exactly the
+// Table V GEMM shapes — the provenance of the paper's irregular
+// workload.
+func ResNet50Convs() []Conv2D {
+	return []Conv2D{
+		// conv1: 7x7/2, 3→64 on 224² (+3 pad) → 64 × 12544 × 147 = L1.
+		{Name: "L1", InC: 3, OutC: 64, InH: 224, InW: 224, KH: 7, KW: 7,
+			StrideH: 2, StrideW: 2, PadH: 3, PadW: 3},
+		// conv2_x 1x1, 64→64 on 56² → 64 × 3136 × 64 = L2.
+		{Name: "L2", InC: 64, OutC: 64, InH: 56, InW: 56, KH: 1, KW: 1,
+			StrideH: 1, StrideW: 1},
+		// conv2_x 3x3, 64→64 on 56² (+1 pad) → 64 × 3136 × 576 = L3.
+		{Name: "L3", InC: 64, OutC: 64, InH: 56, InW: 56, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		// conv2_x expand 1x1, 64→256 on 56² → 256 × 3136 × 64 = L4.
+		{Name: "L4", InC: 64, OutC: 256, InH: 56, InW: 56, KH: 1, KW: 1,
+			StrideH: 1, StrideW: 1},
+		// conv2_x reduce 1x1, 256→64 on 56² → 64 × 3136 × 256 = L5.
+		{Name: "L5", InC: 256, OutC: 64, InH: 56, InW: 56, KH: 1, KW: 1,
+			StrideH: 1, StrideW: 1},
+		// conv3_x 3x3, 128→128 on 28² (+1 pad) → 128 × 784 × 1152 = L7.
+		{Name: "L7", InC: 128, OutC: 128, InH: 28, InW: 28, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		// conv5_x 3x3, 512→512 on 7² (+1 pad) → 512 × 49 × 4608 = L17.
+		{Name: "L17", InC: 512, OutC: 512, InH: 7, InW: 7, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		// conv5_x expand 1x1, 512→2048 on 7² → 2048 × 49 × 512 = L18.
+		{Name: "L18", InC: 512, OutC: 2048, InH: 7, InW: 7, KH: 1, KW: 1,
+			StrideH: 1, StrideW: 1},
+	}
+}

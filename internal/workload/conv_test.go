@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestIm2ColMatchesTableV: the im2col lowering of the real ResNet-50
+// convolution parameters reproduces the published Table V GEMM shapes —
+// the provenance check for the paper's workload.
+func TestIm2ColMatchesTableV(t *testing.T) {
+	for _, conv := range ResNet50Convs() {
+		if err := conv.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := conv.Im2ColGEMM()
+		want, err := ResNet50Layer(conv.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.M != want.M || got.N != want.N || got.K != want.K {
+			t.Errorf("%s: im2col gives %dx%dx%d, Table V says %dx%dx%d",
+				conv.Name, got.M, got.N, got.K, want.M, want.N, want.K)
+		}
+	}
+}
+
+// TestConvOutputDims spot-checks the spatial arithmetic.
+func TestConvOutputDims(t *testing.T) {
+	c := Conv2D{InC: 3, OutC: 64, InH: 224, InW: 224, KH: 7, KW: 7,
+		StrideH: 2, StrideW: 2, PadH: 3, PadW: 3}
+	if c.OutH() != 112 || c.OutW() != 112 {
+		t.Errorf("conv1 output %dx%d, want 112x112", c.OutH(), c.OutW())
+	}
+}
+
+// TestConvValidate rejects malformed layers.
+func TestConvValidate(t *testing.T) {
+	bad := []Conv2D{
+		{InC: 0, OutC: 1, InH: 8, InW: 8, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+		{InC: 1, OutC: 1, InH: 4, InW: 4, KH: 9, KW: 1, StrideH: 1, StrideW: 1},
+		{InC: 1, OutC: 1, InH: 8, InW: 8, KH: 1, KW: 1, StrideH: 0, StrideW: 1},
+		{InC: 1, OutC: 1, InH: 8, InW: 8, KH: 1, KW: 1, StrideH: 1, StrideW: 1, PadH: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+// TestConvGEMMProperty: the lowered K dimension always equals
+// InC·KH·KW and N matches the output plane, for random valid layers.
+func TestConvGEMMProperty(t *testing.T) {
+	f := func(inC, outC, size, k, stride uint8) bool {
+		c := Conv2D{
+			InC: int(inC)%64 + 1, OutC: int(outC)%64 + 1,
+			InH: int(size)%56 + 8, InW: int(size)%56 + 8,
+			KH: int(k)%3 + 1, KW: int(k)%3 + 1,
+			StrideH: int(stride)%2 + 1, StrideW: int(stride)%2 + 1,
+			PadH: 1, PadW: 1,
+		}
+		if c.Validate() != nil {
+			return true // skip invalid combinations
+		}
+		s := c.Im2ColGEMM()
+		return s.K == c.InC*c.KH*c.KW && s.N == c.OutH()*c.OutW() && s.M == c.OutC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package workload provides the evaluation inputs of §V: the ResNet-50
+// GEMM shapes of Table V, the small-matrix sweeps of Fig 8, and the
+// per-layer GEMM traces of the four DNN models used in the end-to-end
+// TNN evaluation of Fig 12.
+package workload
+
+import "fmt"
+
+// Shape is one GEMM problem.
+type Shape struct {
+	Name    string
+	M, N, K int
+}
+
+// FLOPs returns 2·M·N·K.
+func (s Shape) FLOPs() float64 { return 2 * float64(s.M) * float64(s.N) * float64(s.K) }
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	if s.Name != "" {
+		return fmt.Sprintf("%s(%dx%dx%d)", s.Name, s.M, s.N, s.K)
+	}
+	return fmt.Sprintf("%dx%dx%d", s.M, s.N, s.K)
+}
+
+// Kind classifies a shape the way §II-A does.
+type Kind int
+
+// Shape classes.
+const (
+	Small Kind = iota
+	TallSkinny
+	LongRectangular
+	Regular
+)
+
+// Classify returns the §II-A class of the shape: small when every
+// dimension is at most 80 (the LIBXSMM small-GEMM bound the paper
+// cites), otherwise irregular if the aspect ratio is extreme.
+func (s Shape) Classify() Kind {
+	maxd := max3(s.M, s.N, s.K)
+	mind := min3(s.M, s.N, s.K)
+	switch {
+	case maxd <= 80:
+		return Small
+	case mind*8 <= maxd && s.N >= s.M:
+		return LongRectangular
+	case mind*8 <= maxd:
+		return TallSkinny
+	default:
+		return Regular
+	}
+}
+
+// ResNet50 returns the 20 irregular GEMM shapes of Table V.
+func ResNet50() []Shape {
+	return []Shape{
+		{"L1", 64, 12544, 147},
+		{"L2", 64, 3136, 64},
+		{"L3", 64, 3136, 576},
+		{"L4", 256, 3136, 64},
+		{"L5", 64, 3136, 256},
+		{"L6", 128, 784, 256},
+		{"L7", 128, 784, 1152},
+		{"L8", 512, 784, 128},
+		{"L9", 512, 784, 256},
+		{"L10", 128, 784, 512},
+		{"L11", 256, 196, 512},
+		{"L12", 256, 196, 2304},
+		{"L13", 1024, 196, 256},
+		{"L14", 1024, 196, 512},
+		{"L15", 256, 196, 1024},
+		{"L16", 512, 49, 1024},
+		{"L17", 512, 49, 4608},
+		{"L18", 2048, 49, 512},
+		{"L19", 2048, 49, 1024},
+		{"L20", 512, 49, 2048},
+	}
+}
+
+// ResNet50Layer returns a Table V layer by name (e.g. "L4").
+func ResNet50Layer(name string) (Shape, error) {
+	for _, s := range ResNet50() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Shape{}, fmt.Errorf("workload: no ResNet-50 layer %q", name)
+}
+
+// SmallSweep returns the cubic sweep of Fig 8: M = N = K from 1 to 128.
+// The paper samples the full range; points lists the sampled sizes.
+func SmallSweep() []Shape {
+	sizes := []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 80, 96, 112, 128}
+	out := make([]Shape, 0, len(sizes))
+	for _, s := range sizes {
+		out = append(out, Shape{M: s, N: s, K: s})
+	}
+	return out
+}
+
+// StepSweep returns the Fig 6 shape set: growing K at fixed M and N,
+// covering the K = 4 fusion case and the K = 64..256 L1-cliff range.
+func StepSweep() []Shape {
+	var out []Shape
+	for _, k := range []int{4, 8, 16, 32, 64, 128, 256} {
+		out = append(out, Shape{M: 64, N: 64, K: k})
+	}
+	return out
+}
+
+// Fig7Blocks returns the sub-matrix shapes of the micro-tiling strategy
+// comparison (Fig 7): the divisible cases where all strategies coincide
+// (80×32, 25×64) and the irregular cases where DMT wins (26×64, 26×36
+// and friends).
+func Fig7Blocks() []Shape {
+	return []Shape{
+		{M: 80, N: 32, K: 64},
+		{M: 25, N: 64, K: 64},
+		{M: 26, N: 64, K: 64},
+		{M: 26, N: 36, K: 64},
+		{M: 23, N: 52, K: 64},
+		{M: 31, N: 44, K: 64},
+	}
+}
+
+// DNNModel is a per-layer GEMM trace of one network plus its non-GEMM
+// operator time share, for the Fig 12 end-to-end evaluation.
+type DNNModel struct {
+	Name string
+	// GEMMs are the convolution/FC layers lowered to GEMM (im2col),
+	// with Count occurrences per inference.
+	GEMMs []LayerGEMM
+	// OtherFrac is the fraction of total OpenBLAS-backend inference time
+	// spent in non-GEMM operators (pooling, activations, ...).
+	OtherFrac float64
+}
+
+// LayerGEMM is a repeated GEMM within a model.
+type LayerGEMM struct {
+	Shape Shape
+	Count int
+}
+
+// Models returns the four networks of Fig 12. GEMM lists are the
+// dominant distinct shapes of each architecture (batch 1, im2col
+// lowering); OtherFrac values follow TNN operator profiles where
+// lightweight models spend relatively more time outside GEMM.
+func Models() []DNNModel {
+	rn := ResNet50()
+	rnLayers := make([]LayerGEMM, 0, len(rn))
+	counts := []int{1, 1, 3, 3, 4, 1, 4, 1, 3, 4, 1, 6, 1, 5, 6, 1, 3, 1, 2, 3}
+	for i, s := range rn {
+		rnLayers = append(rnLayers, LayerGEMM{Shape: s, Count: counts[i]})
+	}
+	return []DNNModel{
+		{Name: "ResNet50", GEMMs: rnLayers, OtherFrac: 0.18},
+		{Name: "Inception-V3", OtherFrac: 0.22, GEMMs: []LayerGEMM{
+			{Shape{"conv1", 32, 34225, 27}, 1},
+			{Shape{"conv2", 32, 33489, 288}, 1},
+			{Shape{"conv3", 64, 33489, 288}, 1},
+			{Shape{"mix5", 64, 1369, 2304}, 4},
+			{Shape{"mix6", 192, 289, 1728}, 8},
+			{Shape{"mix7", 320, 64, 5760}, 4},
+			{Shape{"fc", 1000, 1, 2048}, 1},
+		}},
+		{Name: "MobileNet-V1", OtherFrac: 0.30, GEMMs: []LayerGEMM{
+			{Shape{"conv1", 32, 12544, 27}, 1},
+			{Shape{"pw2", 64, 12544, 32}, 1},
+			{Shape{"pw3", 128, 3136, 64}, 2},
+			{Shape{"pw4", 256, 784, 128}, 2},
+			{Shape{"pw5", 512, 196, 256}, 6},
+			{Shape{"pw6", 1024, 49, 512}, 2},
+			{Shape{"fc", 1000, 1, 1024}, 1},
+		}},
+		{Name: "SqueezeNet", OtherFrac: 0.26, GEMMs: []LayerGEMM{
+			{Shape{"conv1", 96, 12100, 147}, 1},
+			{Shape{"squeeze", 16, 2916, 96}, 2},
+			{Shape{"expand1", 64, 2916, 16}, 4},
+			{Shape{"expand3", 64, 2916, 144}, 4},
+			{Shape{"mid", 32, 676, 256}, 4},
+			{Shape{"late", 64, 169, 384}, 4},
+			{Shape{"conv10", 1000, 169, 512}, 1},
+		}},
+	}
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,102 @@
+package workload
+
+import "testing"
+
+// TestTableVShapes verifies the ResNet-50 layer list against Table V.
+func TestTableVShapes(t *testing.T) {
+	rn := ResNet50()
+	if len(rn) != 20 {
+		t.Fatalf("Table V has 20 layers, got %d", len(rn))
+	}
+	spot := map[string][3]int{
+		"L1":  {64, 12544, 147},
+		"L4":  {256, 3136, 64},
+		"L8":  {512, 784, 128},
+		"L12": {256, 196, 2304},
+		"L17": {512, 49, 4608},
+		"L20": {512, 49, 2048},
+	}
+	for name, want := range spot {
+		s, err := ResNet50Layer(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.M != want[0] || s.N != want[1] || s.K != want[2] {
+			t.Errorf("%s = %v, want %v", name, s, want)
+		}
+	}
+	if _, err := ResNet50Layer("L21"); err == nil {
+		t.Error("phantom layer accepted")
+	}
+}
+
+// TestClassify checks the §II-A taxonomy on representative shapes.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		s    Shape
+		want Kind
+	}{
+		{Shape{M: 64, N: 64, K: 64}, Small},
+		{Shape{M: 8, N: 8, K: 8}, Small},
+		{Shape{M: 64, N: 12544, K: 147}, LongRectangular},
+		{Shape{M: 2048, N: 49, K: 512}, TallSkinny},
+		{Shape{M: 512, N: 512, K: 512}, Regular},
+	}
+	for _, c := range cases {
+		if got := c.s.Classify(); got != c.want {
+			t.Errorf("Classify(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+// TestSweepsWellFormed sanity-checks the generated sweeps.
+func TestSweepsWellFormed(t *testing.T) {
+	for _, s := range SmallSweep() {
+		if s.M != s.N || s.N != s.K || s.M < 1 || s.M > 128 {
+			t.Errorf("small sweep shape %v not cubic in 1..128", s)
+		}
+	}
+	for _, s := range StepSweep() {
+		if s.M != 64 || s.N != 64 {
+			t.Errorf("step sweep shape %v should fix M=N=64", s)
+		}
+	}
+	if n := len(Fig7Blocks()); n < 4 {
+		t.Errorf("Fig 7 needs several block shapes, got %d", n)
+	}
+}
+
+// TestModels verifies the four Fig 12 networks.
+func TestModels(t *testing.T) {
+	models := Models()
+	if len(models) != 4 {
+		t.Fatalf("Fig 12 uses 4 models, got %d", len(models))
+	}
+	names := map[string]bool{}
+	for _, m := range models {
+		names[m.Name] = true
+		if len(m.GEMMs) == 0 {
+			t.Errorf("%s has no GEMM layers", m.Name)
+		}
+		if m.OtherFrac <= 0 || m.OtherFrac >= 1 {
+			t.Errorf("%s OtherFrac %.2f out of range", m.Name, m.OtherFrac)
+		}
+		for _, lg := range m.GEMMs {
+			if lg.Count < 1 || lg.Shape.M < 1 || lg.Shape.N < 1 || lg.Shape.K < 1 {
+				t.Errorf("%s has degenerate layer %v", m.Name, lg)
+			}
+		}
+	}
+	for _, want := range []string{"ResNet50", "Inception-V3", "MobileNet-V1", "SqueezeNet"} {
+		if !names[want] {
+			t.Errorf("missing model %s", want)
+		}
+	}
+}
+
+// TestFLOPs checks the arithmetic.
+func TestFLOPs(t *testing.T) {
+	if got := (Shape{M: 2, N: 3, K: 4}).FLOPs(); got != 48 {
+		t.Errorf("FLOPs = %g, want 48", got)
+	}
+}
