@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check vet build test lint bench clean
+
+# check is the tier-1 gate CI runs: vet, build, full test suite.
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint sweeps every generatable kernel variant through the dataflow
+# analyzer (internal/asm/analysis) and fails on any finding, then checks
+# the analyzer still catches each injected defect class.
+lint:
+	$(GO) run ./cmd/autogemm-lint
+	@for k in clobber use-before-def pressure rotation; do \
+		if $(GO) run ./cmd/autogemm-lint -inject $$k >/dev/null; then \
+			echo "analyzer missed injected $$k"; exit 1; \
+		else echo "injected $$k: detected"; fi; \
+	done
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

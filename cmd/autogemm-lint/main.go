@@ -1,0 +1,288 @@
+// Command autogemm-lint sweeps the micro-kernel generation space and
+// runs the dataflow analyzer (internal/asm/analysis) over every emitted
+// kernel: all generatable tiles × the modeled chips × the rotation,
+// accumulate and fusion variants, plus band, predicated-SVE and packing
+// kernels. It exits non-zero when any kernel has findings.
+//
+//	autogemm-lint                 # sweep everything, expect zero findings
+//	autogemm-lint -chip A64FX -v  # one chip, per-kernel reports
+//	autogemm-lint -inject clobber # sanity-check the analyzer itself
+//
+// -inject deliberately corrupts one representative kernel (or its
+// analysis contract) before linting, so CI can assert the analyzer
+// actually rejects bad code rather than rubber-stamping everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autogemm/internal/asm"
+	"autogemm/internal/asm/analysis"
+	"autogemm/internal/hw"
+	"autogemm/internal/mkernel"
+)
+
+type linter struct {
+	verbose  bool
+	kernels  int
+	findings int
+}
+
+// lint analyzes one program and tallies the result.
+func (l *linter) lint(p *asm.Program, opts analysis.Options) {
+	l.kernels++
+	rep, err := analysis.Analyze(p, opts)
+	if err != nil {
+		l.findings++
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	if !rep.OK() {
+		l.findings += len(rep.Findings)
+		fmt.Println(rep.String())
+		return
+	}
+	if l.verbose {
+		fmt.Println(rep.String())
+	}
+}
+
+func main() {
+	chipName := flag.String("chip", "all", "chip model, or 'all'")
+	verbose := flag.Bool("v", false, "print a report line per kernel")
+	inject := flag.String("inject", "", "corrupt a kernel first: clobber|use-before-def|pressure|rotation")
+	flag.Parse()
+
+	if *inject != "" {
+		os.Exit(runInjection(*inject))
+	}
+
+	chips := hw.All()
+	if *chipName != "all" {
+		chip, err := hw.ByName(*chipName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		chips = []*hw.Chip{chip}
+	}
+
+	l := &linter{verbose: *verbose}
+	for _, chip := range chips {
+		before := l.findings
+		n := l.kernels
+		l.sweepChip(chip)
+		fmt.Printf("%-10s %4d kernels, %d finding(s)\n", chip.Name, l.kernels-n, l.findings-before)
+	}
+	fmt.Printf("total      %4d kernels, %d finding(s)\n", l.kernels, l.findings)
+	if l.findings > 0 {
+		os.Exit(1)
+	}
+}
+
+// sweepChip lints every kernel variant the generator can emit for one
+// chip: single tiles across KC shapes and flags, uniform and mixed
+// bands, predicated SVE kernels, and a packing kernel.
+func (l *linter) sweepChip(chip *hw.Chip) {
+	lanes := chip.Lanes
+	kcs := []int{lanes, 2*lanes + 1, 32}
+	for _, tile := range mkernel.FeasibleTiles(lanes) {
+		if !tile.Generatable(lanes) {
+			continue
+		}
+		for _, kc := range kcs {
+			for _, rotate := range []bool{false, true} {
+				for _, loadC := range []bool{false, true} {
+					cfg := mkernel.Config{
+						Tile: tile, KC: kc, Lanes: lanes,
+						Rotate: rotate, SigmaAI: chip.SigmaAI, LoadC: loadC,
+						SkipAnalysis: true,
+					}
+					p, err := mkernel.Generate(cfg)
+					if err != nil {
+						l.fail("generate %s: %v", cfg.Name(), err)
+						continue
+					}
+					opts, err := cfg.AnalysisOptions()
+					if err != nil {
+						l.fail("options %s: %v", cfg.Name(), err)
+						continue
+					}
+					l.lint(p, opts)
+				}
+			}
+		}
+	}
+
+	// Band kernels: a uniform two-tile band and a mixed-width band that
+	// switches register layouts at the seam, fused and unfused.
+	bands := []mkernel.BandConfig{
+		{Segments: []mkernel.Segment{{Tile: mkernel.Tile{MR: 4, NR: 2 * lanes}, Count: 2}},
+			KC: 2*lanes + 1, Lanes: lanes, Rotate: true},
+		{Segments: []mkernel.Segment{
+			{Tile: mkernel.Tile{MR: 4, NR: 2 * lanes}, Count: 1},
+			{Tile: mkernel.Tile{MR: 4, NR: lanes}, Count: 1}},
+			KC: 2*lanes + 1, Lanes: lanes, Rotate: true},
+	}
+	for _, bc := range bands {
+		for _, fuse := range []bool{false, true} {
+			for _, loadC := range []bool{false, true} {
+				cfg := bc
+				cfg.Fuse, cfg.LoadC, cfg.SigmaAI = fuse, loadC, chip.SigmaAI
+				cfg.SkipAnalysis = true
+				p, err := mkernel.GenerateBand(cfg)
+				if err != nil {
+					l.fail("generate %s: %v", cfg.Name(), err)
+					continue
+				}
+				opts, err := cfg.AnalysisOptions()
+				if err != nil {
+					l.fail("options %s: %v", cfg.Name(), err)
+					continue
+				}
+				l.lint(p, opts)
+			}
+		}
+	}
+
+	// Predicated SVE kernels exercise the exact-bounds contract,
+	// including ragged n and k tails.
+	if chip.SVE {
+		for _, nr := range []int{lanes - 1, lanes + 3, 3 * lanes} {
+			for _, kc := range []int{lanes, lanes + 5} {
+				cfg := mkernel.PredConfig{
+					Tile: mkernel.Tile{MR: 4, NR: nr}, KC: kc, Lanes: lanes,
+					LoadC: true, SkipAnalysis: true,
+				}
+				if !cfg.Feasible() {
+					continue
+				}
+				p, err := mkernel.GeneratePredicated(cfg)
+				if err != nil {
+					l.fail("generate %s: %v", cfg.Name(), err)
+					continue
+				}
+				l.lint(p, cfg.AnalysisOptions())
+			}
+		}
+	}
+
+	pack := mkernel.PackConfig{Rows: 8, Cols: 4 * lanes, Lanes: lanes, SkipAnalysis: true}
+	if p, err := mkernel.GeneratePack(pack); err != nil {
+		l.fail("generate %s: %v", pack.Name(), err)
+	} else {
+		l.lint(p, pack.AnalysisOptions())
+	}
+}
+
+func (l *linter) fail(format string, args ...interface{}) {
+	l.findings++
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// runInjection corrupts one representative kernel (or its contract) and
+// lints it; the expected outcome is findings, so the exit status is 1
+// when the analyzer catches the defect and 0 when it does not.
+func runInjection(kind string) int {
+	lanes := 4
+	cfg := mkernel.Config{
+		Tile: mkernel.Tile{MR: 4, NR: 2 * lanes}, KC: 2*lanes + 1, Lanes: lanes,
+		Rotate: true, SigmaAI: 4.0, LoadC: true, SkipAnalysis: true,
+	}
+	p, err := mkernel.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	opts, err := cfg.AnalysisOptions()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	switch kind {
+	case "clobber":
+		// Turn the first C store into a load of the same accumulator: the
+		// partial sum is overwritten instead of written back.
+		for i := range p.Instrs {
+			in := &p.Instrs[i]
+			if in.Op == asm.OpStrQPost || in.Op == asm.OpStrQ {
+				*in = asm.Instr{Op: asm.OpLdrQ, Dst: in.Dst, Src1: in.Src1,
+					Comment: "injected clobber"}
+				break
+			}
+		}
+	case "use-before-def":
+		// Point the first FMLA's multiplicand at a vector register nothing
+		// ever writes.
+		unused := findUnusedVector(p)
+		if unused == asm.NoReg {
+			fmt.Fprintln(os.Stderr, "no unused vector register to inject with")
+			return 2
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i].Op == asm.OpFmla {
+				p.Instrs[i].Src1 = unused
+				break
+			}
+		}
+	case "pressure":
+		// The kernel is untouched; the budget is shrunk below its true
+		// working set.
+		opts.VectorBudget = 4
+	case "rotation":
+		// Claim B double buffering on a kernel generated without it.
+		cfg.Rotate = false
+		p, err = mkernel.Generate(mkernel.Config{
+			Tile: cfg.Tile, KC: cfg.KC, Lanes: cfg.Lanes,
+			SigmaAI: cfg.SigmaAI, LoadC: cfg.LoadC, SkipAnalysis: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		opts.Rotation = &analysis.RotationHint{BDouble: true}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown injection %q (want clobber|use-before-def|pressure|rotation)\n", kind)
+		return 2
+	}
+
+	rep, err := analysis.Analyze(p, opts)
+	if err != nil {
+		fmt.Println(err)
+		return 1
+	}
+	fmt.Println(rep.String())
+	for _, f := range rep.Findings {
+		if f.Index >= 0 && f.Index < len(p.Instrs) {
+			fmt.Printf("    instr %d is: %s\n", f.Index, asm.FormatInstr(&p.Instrs[f.Index]))
+		}
+	}
+	if rep.OK() {
+		fmt.Printf("injection %q NOT detected\n", kind)
+		return 0
+	}
+	return 1
+}
+
+// findUnusedVector returns a vector register the program neither reads
+// nor writes.
+func findUnusedVector(p *asm.Program) asm.Reg {
+	used := map[asm.Reg]bool{}
+	for i := range p.Instrs {
+		for _, r := range p.Instrs[i].Reads() {
+			used[r] = true
+		}
+		for _, r := range p.Instrs[i].Writes() {
+			used[r] = true
+		}
+	}
+	for v := 0; v < asm.NumVectorRegs; v++ {
+		if !used[asm.V(v)] {
+			return asm.V(v)
+		}
+	}
+	return asm.NoReg
+}

@@ -1,0 +1,364 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"autogemm/internal/asm"
+	"autogemm/internal/asm/analysis"
+)
+
+// buildKernel hand-writes a miniature but fully realistic micro-kernel
+// (m_r = 1, n̂_r = 1, k_c = 8, σ = 4): strides to bytes, C load, A/B
+// prologue, a 2-iteration counted loop of 4 unrolled k-steps with B
+// loaded one step ahead, and the C store. mutate, when non-nil, is
+// called at the named points so each test case can break exactly one
+// contract.
+func buildKernel(t *testing.T, mutate func(point string, p *asm.Program)) *asm.Program {
+	t.Helper()
+	hook := func(point string, p *asm.Program) {
+		if mutate != nil {
+			mutate(point, p)
+		}
+	}
+	p := asm.NewProgram("mini")
+	p.Lsl(asm.X(3), asm.X(3), 2)
+	p.Lsl(asm.X(4), asm.X(4), 2)
+	p.Lsl(asm.X(5), asm.X(5), 2)
+	p.Mov(asm.X(6), asm.X(0)) // A row pointer
+	p.Mov(asm.X(7), asm.X(2)) // C row pointer
+	p.LdrQ(asm.V(0), asm.X(7), 0).Comment("load C")
+	p.LdrQPost(asm.V(1), asm.X(6), 16).Comment("load A block 0")
+	p.LdrQ(asm.V(2), asm.X(1), 0).Comment("load B row 0")
+	p.Add(asm.X(1), asm.X(1), asm.X(4))
+	hook("pre-loop", p)
+	p.MovI(asm.X(29), 2)
+	p.Label("kloop")
+	for i := 0; i < 4; i++ {
+		p.Fmla(asm.V(0), asm.V(2), asm.V(1), i)
+		hook("step", p)
+		p.LdrQ(asm.V(2), asm.X(1), 0).Comment("load B one step ahead")
+		p.Add(asm.X(1), asm.X(1), asm.X(4))
+	}
+	p.LdrQPost(asm.V(1), asm.X(6), 16).Comment("load next A block")
+	p.Subs(asm.X(29), asm.X(29), 1)
+	p.Bne("kloop")
+	hook("pre-store", p)
+	p.StrQPost(asm.V(0), asm.X(7), 16)
+	hook("pre-ret", p)
+	p.Ret()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("mini kernel does not validate: %v", err)
+	}
+	return p
+}
+
+func miniBounds() *analysis.Bounds {
+	return &analysis.Bounds{MR: 1, NR: 4, KC: 8, Lanes: 4, AOverVectors: 1, BOverRows: 2}
+}
+
+// TestCleanKernel is the positive case: the mini kernel has zero
+// findings and the report reflects its structure.
+func TestCleanKernel(t *testing.T) {
+	p := buildKernel(t, nil)
+	rep, err := analysis.Analyze(p, analysis.Options{Bounds: miniBounds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean kernel has findings:\n%s", rep.String())
+	}
+	if rep.Loops != 1 {
+		t.Errorf("Loops = %d, want 1", rep.Loops)
+	}
+	if !rep.BoundsChecked {
+		t.Error("bounds pass did not run")
+	}
+	if rep.MaxLiveVectors != 3 {
+		t.Errorf("MaxLiveVectors = %d, want 3 (C, A, B)", rep.MaxLiveVectors)
+	}
+	if len(rep.Accumulators) != 1 || rep.Accumulators[0] != asm.V(0) {
+		t.Errorf("Accumulators = %v, want [v0]", rep.Accumulators)
+	}
+	if rep.Err() != nil {
+		t.Error("Err() non-nil on clean report")
+	}
+	if !strings.Contains(rep.String(), "ok") {
+		t.Errorf("report string %q", rep.String())
+	}
+}
+
+// TestNegativeFindings breaks one contract per case and checks the
+// analyzer reports exactly the matching kind with a distinct diagnostic.
+func TestNegativeFindings(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(point string, p *asm.Program)
+		opts   func() analysis.Options
+		want   analysis.Kind
+	}{
+		{
+			name: "clobbered accumulator",
+			mutate: func(point string, p *asm.Program) {
+				if point == "pre-store" {
+					p.VZero(asm.V(0)).Comment("injected: zero the dirty accumulator")
+				}
+			},
+			opts: func() analysis.Options { return analysis.Options{Bounds: miniBounds()} },
+			want: analysis.KindAccClobber,
+		},
+		{
+			name: "use before def",
+			mutate: func(point string, p *asm.Program) {
+				if point == "pre-store" {
+					p.Fmla(asm.V(0), asm.V(9), asm.V(1), 0).Comment("injected: v9 never written")
+				}
+			},
+			opts: func() analysis.Options { return analysis.Options{Bounds: miniBounds()} },
+			want: analysis.KindUseBeforeDef,
+		},
+		{
+			name:   "over pressure",
+			mutate: nil,
+			opts: func() analysis.Options {
+				return analysis.Options{VectorBudget: 2, Bounds: miniBounds()}
+			},
+			want: analysis.KindPressure,
+		},
+		{
+			name:   "broken rotation",
+			mutate: nil,
+			opts: func() analysis.Options {
+				// The mini kernel reuses one B register every step, so a
+				// double-buffering claim is false.
+				return analysis.Options{Rotation: &analysis.RotationHint{BDouble: true}}
+			},
+			want: analysis.KindRotation,
+		},
+		{
+			name: "dead definition",
+			mutate: func(point string, p *asm.Program) {
+				if point == "pre-ret" {
+					p.VZero(asm.V(10))
+					p.Fmla(asm.V(10), asm.V(2), asm.V(1), 0).Comment("injected: result unread")
+				}
+			},
+			opts: func() analysis.Options { return analysis.Options{} },
+			want: analysis.KindDeadDef,
+		},
+		{
+			name: "same-step load feed",
+			mutate: func(point string, p *asm.Program) {
+				if point == "step" {
+					// Load a second B vector and consume it immediately within
+					// the same unrolled k-step.
+					p.LdrQ(asm.V(11), asm.X(1), 0)
+					last := p.Instrs[len(p.Instrs)-2] // the step's FMLA (the load is last)
+					p.Fmla(asm.V(0), asm.V(11), asm.V(1), int(last.Lane))
+				}
+			},
+			opts: func() analysis.Options { return analysis.Options{} },
+			want: analysis.KindPipeline,
+		},
+		{
+			name: "multiplicand aliases live accumulator",
+			mutate: func(point string, p *asm.Program) {
+				if point == "pre-store" {
+					p.Fmla(asm.V(2), asm.V(0), asm.V(1), 0).Comment("injected: reads dirty v0")
+					p.StrQ(asm.V(2), asm.X(7), 0)
+				}
+			},
+			opts: func() analysis.Options { return analysis.Options{} },
+			want: analysis.KindRoleOverlap,
+		},
+		{
+			name: "flags never set",
+			mutate: func(point string, p *asm.Program) {
+				if point == "pre-loop" {
+					// A conditional branch whose flags no SUBS ever defines:
+					// jump over a nop-equivalent.
+					p.Bne("skip")
+					p.MovI(asm.X(8), 0)
+					p.Label("skip")
+				}
+			},
+			opts: func() analysis.Options { return analysis.Options{} },
+			want: analysis.KindUseBeforeDef,
+		},
+	}
+	diagnostics := map[string]bool{}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := buildKernel(t, tc.mutate)
+			rep, err := analysis.Analyze(p, tc.opts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.OK() {
+				t.Fatalf("defect not detected")
+			}
+			found := false
+			for _, f := range rep.Findings {
+				if f.Kind == tc.want {
+					found = true
+					diagnostics[f.Kind.String()] = true
+					if f.String() == "" || !strings.Contains(f.String(), f.Kind.String()) {
+						t.Errorf("finding renders poorly: %q", f.String())
+					}
+				} else {
+					t.Errorf("unexpected extra finding: %s", f.String())
+				}
+			}
+			if !found {
+				t.Fatalf("no %s finding; got:\n%s", tc.want, rep.String())
+			}
+			if rep.Err() == nil {
+				t.Error("Err() nil despite findings")
+			}
+		})
+	}
+	// Each defect class surfaced under its own diagnostic name.
+	if len(diagnostics) < 7 {
+		t.Errorf("only %d distinct diagnostics across cases: %v", len(diagnostics), diagnostics)
+	}
+}
+
+// TestBoundsViolations covers the symbolic over-read pass: a loop that
+// runs one iteration too many walks A and B out of their panels, and a
+// mixed-base address is rejected as unanalyzable.
+func TestBoundsViolations(t *testing.T) {
+	t.Run("over-read", func(t *testing.T) {
+		p := buildKernel(t, nil)
+		// Same code, smaller declared panels: k_c = 4 means the second
+		// loop iteration reads past both A and B.
+		rep, err := analysis.Analyze(p, analysis.Options{
+			Bounds: &analysis.Bounds{MR: 1, NR: 4, KC: 4, Lanes: 4, AOverVectors: 1, BOverRows: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.BoundsChecked {
+			t.Fatal("bounds pass did not run")
+		}
+		found := false
+		for _, f := range rep.Findings {
+			if f.Kind == analysis.KindOverRead {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no over-read finding; got:\n%s", rep.String())
+		}
+	})
+	t.Run("bad address", func(t *testing.T) {
+		p := buildKernel(t, func(point string, p *asm.Program) {
+			if point == "pre-loop" {
+				p.Add(asm.X(8), asm.X(6), asm.X(7)).Comment("injected: A ptr + C ptr")
+				p.LdrQ(asm.V(12), asm.X(8), 0)
+			}
+		})
+		rep, err := analysis.Analyze(p, analysis.Options{Bounds: miniBounds()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, f := range rep.Findings {
+			if f.Kind == analysis.KindBadAddress {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no bad-address finding; got:\n%s", rep.String())
+		}
+	})
+	t.Run("store into B", func(t *testing.T) {
+		p := buildKernel(t, func(point string, p *asm.Program) {
+			if point == "pre-loop" {
+				p.StrQ(asm.V(2), asm.X(1), 0).Comment("injected: write the B panel")
+			}
+		})
+		rep, err := analysis.Analyze(p, analysis.Options{Bounds: miniBounds()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, f := range rep.Findings {
+			if f.Kind == analysis.KindOverRead && strings.Contains(f.Detail, "store into the B panel") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("store into B not flagged; got:\n%s", rep.String())
+		}
+	})
+}
+
+// TestBoundsSkippedOnIrregularFlow: forward branches disable the
+// symbolic pass rather than producing unsound findings.
+func TestBoundsSkippedOnIrregularFlow(t *testing.T) {
+	p := asm.NewProgram("fwd")
+	p.MovI(asm.X(6), 0)
+	p.B("end")
+	p.LdrQ(asm.V(0), asm.X(0), 1<<20) // unreachable wild load
+	p.Label("end")
+	p.Ret()
+	rep, err := analysis.Analyze(p, analysis.Options{
+		Bounds: &analysis.Bounds{MR: 1, NR: 4, KC: 4, Lanes: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BoundsChecked {
+		t.Error("bounds pass claimed to run over a program with forward branches")
+	}
+}
+
+// TestAnalyzeErrors covers the hard-error paths: empty programs, invalid
+// bounds, and branches the CFG builder cannot resolve.
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := analysis.Analyze(asm.NewProgram("empty"), analysis.Options{}); err == nil {
+		t.Error("empty program accepted")
+	}
+	p := asm.NewProgram("bad-branch")
+	p.MovI(asm.X(29), 1)
+	p.Subs(asm.X(29), asm.X(29), 1)
+	p.Bne("nowhere")
+	p.Ret()
+	if _, err := analysis.Analyze(p, analysis.Options{}); err == nil {
+		t.Error("undefined branch target accepted")
+	}
+	good := buildKernel(t, nil)
+	if _, err := analysis.Analyze(good, analysis.Options{
+		Bounds: &analysis.Bounds{MR: 0, NR: 4, KC: 4, Lanes: 4},
+	}); err == nil {
+		t.Error("invalid bounds accepted")
+	}
+}
+
+// TestKindStrings pins the stable diagnostic names.
+func TestKindStrings(t *testing.T) {
+	want := map[analysis.Kind]string{
+		analysis.KindUseBeforeDef: "use-before-def",
+		analysis.KindAccClobber:   "accumulator-clobber",
+		analysis.KindRoleOverlap:  "role-overlap",
+		analysis.KindDeadDef:      "dead-def",
+		analysis.KindPressure:     "register-pressure",
+		analysis.KindPipeline:     "pipeline-hazard",
+		analysis.KindRotation:     "rotation-broken",
+		analysis.KindOverRead:     "over-read",
+		analysis.KindBadAddress:   "bad-address",
+	}
+	seen := map[string]bool{}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind %d = %q, want %q", int(k), k.String(), s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate diagnostic name %q", s)
+		}
+		seen[s] = true
+	}
+	if analysis.Kind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}

@@ -1,0 +1,435 @@
+package analysis
+
+import (
+	"fmt"
+
+	"autogemm/internal/asm"
+)
+
+// The bounds pass interprets the scalar register file symbolically over
+// the affine domain  c + Σ kᵢ·symᵢ  with symbols for the three panel
+// base pointers and the three leading dimensions (in elements; the
+// kernels' LSL-by-2 stride conversion lands in the coefficients). Every
+// load/store address must resolve to  base + r·ld + c  with r and c
+// inside the panel plus the declared over-read slack. Counted SUBS/B.NE
+// loops are handled exactly: the body's per-iteration delta is affine,
+// so the final iteration is re-checked at  snapshot + (n−1)·delta.
+//
+// The pass is deliberately restricted to the branch structure the
+// generator emits — backward conditional branches only. Programs with
+// forward or unconditional branches skip the pass (Report.BoundsChecked
+// stays false) rather than risk unsound conclusions.
+
+// Affine symbols.
+const (
+	symLda = iota
+	symLdb
+	symLdc
+	symA
+	symB
+	symC
+	nsyms
+)
+
+// symval is an affine value: c + Σ k[i]·sym[i]; known=false is ⊤.
+type symval struct {
+	known bool
+	c     int64
+	k     [nsyms]int64
+}
+
+func symConst(c int64) symval { return symval{known: true, c: c} }
+
+func symOf(s int) symval {
+	v := symval{known: true}
+	v.k[s] = 1
+	return v
+}
+
+func (v symval) add(o symval) symval {
+	if !v.known || !o.known {
+		return symval{}
+	}
+	r := symval{known: true, c: v.c + o.c}
+	for i := range r.k {
+		r.k[i] = v.k[i] + o.k[i]
+	}
+	return r
+}
+
+func (v symval) sub(o symval) symval {
+	if !v.known || !o.known {
+		return symval{}
+	}
+	r := symval{known: true, c: v.c - o.c}
+	for i := range r.k {
+		r.k[i] = v.k[i] - o.k[i]
+	}
+	return r
+}
+
+func (v symval) addConst(c int64) symval {
+	if !v.known {
+		return v
+	}
+	v.c += c
+	return v
+}
+
+func (v symval) shl(sh int64) symval {
+	if !v.known || sh < 0 || sh > 32 {
+		return symval{}
+	}
+	v.c <<= sh
+	for i := range v.k {
+		v.k[i] <<= sh
+	}
+	return v
+}
+
+func (v symval) scale(n int64) symval {
+	if !v.known {
+		return v
+	}
+	v.c *= n
+	for i := range v.k {
+		v.k[i] *= n
+	}
+	return v
+}
+
+// isConst reports a pure constant and its value.
+func (v symval) isConst() (int64, bool) {
+	if !v.known {
+		return 0, false
+	}
+	for _, k := range v.k {
+		if k != 0 {
+			return 0, false
+		}
+	}
+	return v.c, true
+}
+
+// boundsState is the machine state of the symbolic walk.
+type boundsState struct {
+	x     [asm.NumScalarRegs]symval
+	preds [asm.NumPredRegs]int // active lanes; -1 unknown
+}
+
+type boundsInterp struct {
+	a      *analyzer
+	b      *Bounds
+	st     boundsState
+	snaps  map[int]boundsState // label instruction index -> state
+	rewalk bool
+}
+
+// checkBounds drives the symbolic walk. Loops must be the counted
+// backward-B.NE kind; anything else disables the pass.
+func (a *analyzer) checkBounds(loops []loop) {
+	p := a.p
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op == asm.OpB {
+			return // unconditional branches: linear walk unsound
+		}
+		if in.Op == asm.OpBne {
+			if t, ok := p.LabelIndex(in.Label); !ok || t > i {
+				return // forward conditional branch
+			}
+		}
+	}
+	for _, l := range loops {
+		if !l.simple {
+			return // nested or irregular loop bodies
+		}
+	}
+	bi := &boundsInterp{a: a, b: a.opts.Bounds, snaps: make(map[int]boundsState)}
+	for r := range bi.st.x {
+		bi.st.x[r] = symval{} // unknown
+	}
+	bi.st.x[0] = symOf(symA)
+	bi.st.x[1] = symOf(symB)
+	bi.st.x[2] = symOf(symC)
+	bi.st.x[3] = symOf(symLda)
+	bi.st.x[4] = symOf(symLdb)
+	bi.st.x[5] = symOf(symLdc)
+	for i := range bi.st.preds {
+		bi.st.preds[i] = -1
+	}
+	a.report.BoundsChecked = true
+
+	i := 0
+	for i < len(p.Instrs) {
+		in := &p.Instrs[i]
+		if in.Op == asm.OpLabel {
+			bi.snaps[i] = bi.st
+		}
+		if in.Op == asm.OpBne {
+			t, _ := p.LabelIndex(in.Label)
+			bi.handleLoop(t, i)
+		}
+		bi.step(in, i)
+		i++
+	}
+}
+
+// val reads a scalar register's symbolic value.
+func (bi *boundsInterp) val(r asm.Reg) symval {
+	if r == asm.XZR {
+		return symConst(0)
+	}
+	if !r.IsScalar() {
+		return symval{}
+	}
+	return bi.st.x[r.Index()]
+}
+
+func (bi *boundsInterp) set(r asm.Reg, v symval) {
+	if r == asm.XZR || !r.IsScalar() {
+		return
+	}
+	bi.st.x[r.Index()] = v
+}
+
+// step interprets one instruction, checking memory accesses.
+func (bi *boundsInterp) step(in *asm.Instr, idx int) {
+	switch in.Op {
+	case asm.OpMov:
+		bi.set(in.Dst, bi.val(in.Src1))
+	case asm.OpMovI:
+		bi.set(in.Dst, symConst(in.Imm))
+	case asm.OpLsl:
+		bi.set(in.Dst, bi.val(in.Src1).shl(in.Imm))
+	case asm.OpAdd:
+		bi.set(in.Dst, bi.val(in.Src1).add(bi.val(in.Src2)))
+	case asm.OpAddI:
+		bi.set(in.Dst, bi.val(in.Src1).addConst(in.Imm))
+	case asm.OpSubI, asm.OpSubs:
+		bi.set(in.Dst, bi.val(in.Src1).addConst(-in.Imm))
+	case asm.OpLdrQ:
+		bi.checkAccess(idx, bi.val(in.Src1).addConst(in.Imm), int64(bi.b.Lanes)*4, false)
+	case asm.OpStrQ:
+		bi.checkAccess(idx, bi.val(in.Src1).addConst(in.Imm), int64(bi.b.Lanes)*4, true)
+	case asm.OpLdrQPost:
+		bi.checkAccess(idx, bi.val(in.Src1), int64(bi.b.Lanes)*4, false)
+		bi.set(in.Src1, bi.val(in.Src1).addConst(in.Imm))
+	case asm.OpStrQPost:
+		bi.checkAccess(idx, bi.val(in.Src1), int64(bi.b.Lanes)*4, true)
+		bi.set(in.Src1, bi.val(in.Src1).addConst(in.Imm))
+	case asm.OpPTrue:
+		if in.Dst.IsPred() {
+			bi.st.preds[int(in.Dst)-predID0] = bi.b.Lanes
+		}
+	case asm.OpWhilelt:
+		if in.Dst.IsPred() {
+			n := -1
+			if lo, ok := bi.val(in.Src1).isConst(); ok {
+				if hi, ok2 := bi.val(in.Src2).isConst(); ok2 {
+					d := hi - lo
+					if d < 0 {
+						d = 0
+					}
+					if d > int64(bi.b.Lanes) {
+						d = int64(bi.b.Lanes)
+					}
+					n = int(d)
+				}
+			}
+			bi.st.preds[int(in.Dst)-predID0] = n
+		}
+	case asm.OpLd1W, asm.OpSt1W:
+		lanes := bi.b.Lanes
+		if in.Src2.IsPred() {
+			if n := bi.st.preds[int(in.Src2)-predID0]; n >= 0 {
+				lanes = n
+			}
+		}
+		if lanes > 0 {
+			bi.checkAccess(idx, bi.val(in.Src1).addConst(in.Imm), int64(lanes)*4, in.Op == asm.OpSt1W)
+		}
+	case asm.OpPrfm, asm.OpNop, asm.OpLabel, asm.OpB, asm.OpBne, asm.OpRet,
+		asm.OpFmla, asm.OpVZero:
+		// Prefetches are hints with no architectural bound; the rest
+		// touch no scalar state or memory.
+	default:
+		// Unknown opcode writing a scalar register: drop to ⊤.
+		for _, r := range in.Writes() {
+			bi.set(r, symval{})
+		}
+	}
+}
+
+// predID0 is the dataflow id of p0.
+const predID0 = asm.NumScalarRegs + asm.NumVectorRegs
+
+// handleLoop is called at a backward B.NE. The body [head+1, latch) has
+// already been walked once (iteration 1, accesses checked). Using the
+// snapshot at the head label it derives the per-iteration affine delta
+// and the exact trip count, re-checks the final iteration, and leaves
+// the state at loop exit.
+func (bi *boundsInterp) handleLoop(head, latch int) {
+	if bi.rewalk {
+		return
+	}
+	p := bi.a.p
+	snap, ok := bi.snaps[head]
+	if !ok {
+		bi.havocBody(head, latch)
+		return
+	}
+	// The governing counter: nearest SUBS before the latch.
+	ctr := asm.NoReg
+	for j := latch - 1; j > head; j-- {
+		if p.Instrs[j].Op == asm.OpSubs {
+			ctr = p.Instrs[j].Src1
+			break
+		}
+	}
+	if ctr == asm.NoReg || !ctr.IsScalar() {
+		bi.havocBody(head, latch)
+		return
+	}
+	n, isConst := snap.x[ctr.Index()].isConst()
+	if !isConst || n < 1 {
+		bi.havocBody(head, latch)
+		return
+	}
+	if n == 1 {
+		return // the single iteration was the one already walked
+	}
+	// Per-iteration delta of every scalar register; unknown propagates.
+	var delta [asm.NumScalarRegs]symval
+	for r := range delta {
+		delta[r] = bi.st.x[r].sub(snap.x[r])
+	}
+	// Predicates must be loop-invariant for the exact treatment.
+	for i := range bi.st.preds {
+		if bi.st.preds[i] != snap.preds[i] {
+			bi.st.preds[i] = -1
+		}
+	}
+	// Jump to the start of the final iteration and re-walk it with
+	// access checks; the walk itself then produces the exit state.
+	for r := range bi.st.x {
+		bi.st.x[r] = snap.x[r].add(delta[r].scale(n - 1))
+	}
+	bi.rewalk = true
+	for j := head + 1; j < latch; j++ {
+		bi.step(&p.Instrs[j], j)
+	}
+	bi.rewalk = false
+}
+
+// havocBody forgets everything the loop body writes — the conservative
+// fallback when the trip count cannot be proven.
+func (bi *boundsInterp) havocBody(head, latch int) {
+	p := bi.a.p
+	for j := head + 1; j < latch; j++ {
+		in := &p.Instrs[j]
+		for _, r := range in.Writes() {
+			bi.set(r, symval{})
+			if in.Dst.IsPred() {
+				bi.st.preds[int(in.Dst)-predID0] = -1
+			}
+		}
+	}
+}
+
+// checkAccess verifies one memory access of size bytes at the symbolic
+// address.
+func (bi *boundsInterp) checkAccess(idx int, addr symval, size int64, isStore bool) {
+	if !addr.known || size <= 0 {
+		return
+	}
+	b := bi.b
+	nbase, base := 0, -1
+	for s := symA; s <= symC; s++ {
+		if addr.k[s] != 0 {
+			nbase++
+			base = s
+		}
+	}
+	if nbase == 0 {
+		return // absolute address: outside the panel model
+	}
+	bad := func(detail string) {
+		kind := KindOverRead
+		bi.a.addFinding(Finding{Kind: kind, Index: idx, Reg: asm.NoReg, Detail: detail})
+	}
+	if nbase > 1 || addr.k[base] != 1 {
+		bi.a.addFinding(Finding{Kind: KindBadAddress, Index: idx, Reg: asm.NoReg,
+			Detail: "address is not base + r·ld + c over a single panel"})
+		return
+	}
+	// Byte-stride coefficients must be whole multiples of 4 (the LSL-2
+	// element-to-byte conversion) on the matching stride only.
+	rowOf := func(sym int) (int64, bool) {
+		for s := symLda; s <= symLdc; s++ {
+			if s != sym && addr.k[s] != 0 {
+				return 0, false
+			}
+		}
+		if addr.k[sym]%4 != 0 {
+			return 0, false
+		}
+		return addr.k[sym] / 4, true
+	}
+	vb := int64(b.Lanes) * 4
+	switch base {
+	case symA:
+		row, ok := rowOf(symLda)
+		if !ok {
+			bi.a.addFinding(Finding{Kind: KindBadAddress, Index: idx, Reg: asm.NoReg,
+				Detail: "A address mixes foreign strides"})
+			return
+		}
+		if isStore {
+			bad("store into the A panel")
+			return
+		}
+		if row < 0 || row >= int64(b.MR) {
+			bad(fmt.Sprintf("A row %d outside 0..%d", row, b.MR-1))
+			return
+		}
+		limit := int64(b.KC)*4 + int64(b.AOverVectors)*vb
+		if addr.c < 0 || addr.c+size > limit {
+			bad(fmt.Sprintf("A row offset [%d,%d) exceeds row length %d + slack %d",
+				addr.c, addr.c+size, b.KC*4, int64(b.AOverVectors)*vb))
+		}
+	case symB:
+		row, ok := rowOf(symLdb)
+		if !ok {
+			bi.a.addFinding(Finding{Kind: KindBadAddress, Index: idx, Reg: asm.NoReg,
+				Detail: "B address mixes foreign strides"})
+			return
+		}
+		if isStore {
+			bad("store into the B panel")
+			return
+		}
+		if row < 0 || row >= int64(b.KC+b.BOverRows) {
+			bad(fmt.Sprintf("B row %d outside 0..%d (+%d over-read rows)", row, b.KC-1, b.BOverRows))
+			return
+		}
+		if addr.c < 0 || addr.c+size > int64(b.NR)*4 {
+			bad(fmt.Sprintf("B column offset [%d,%d) exceeds panel width %d", addr.c, addr.c+size, b.NR*4))
+		}
+	case symC:
+		row, ok := rowOf(symLdc)
+		if !ok {
+			bi.a.addFinding(Finding{Kind: KindBadAddress, Index: idx, Reg: asm.NoReg,
+				Detail: "C address mixes foreign strides"})
+			return
+		}
+		if row < 0 || row >= int64(b.MR) {
+			bad(fmt.Sprintf("C row %d outside 0..%d", row, b.MR-1))
+			return
+		}
+		if addr.c < 0 || addr.c+size > int64(b.NR)*4 {
+			bad(fmt.Sprintf("C offset [%d,%d) exceeds row width %d — C has no over-read slack",
+				addr.c, addr.c+size, b.NR*4))
+		}
+	}
+}

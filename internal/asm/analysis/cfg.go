@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+
+	"autogemm/internal/asm"
+)
+
+// The dataflow register universe: scalar x0..xzr occupy ids 0..31,
+// vectors v0..v31 ids 32..63, predicates p0..p15 ids 64..79, and one
+// synthetic id for the NZCV flags written by SUBS and read by B.NE.
+const (
+	vecBase  = asm.NumScalarRegs
+	predEnd  = asm.NumScalarRegs + asm.NumVectorRegs + asm.NumPredRegs
+	flagsID  = predEnd // 80
+	universe = flagsID + 1
+)
+
+// regset is a bitset over the register universe.
+type regset [2]uint64
+
+func (s *regset) add(id int)     { s[id>>6] |= 1 << (id & 63) }
+func (s *regset) del(id int)     { s[id>>6] &^= 1 << (id & 63) }
+func (s regset) has(id int) bool { return s[id>>6]&(1<<(id&63)) != 0 }
+
+func (s regset) union(o regset) regset { return regset{s[0] | o[0], s[1] | o[1]} }
+func (s regset) inter(o regset) regset { return regset{s[0] & o[0], s[1] & o[1]} }
+func (s regset) minus(o regset) regset { return regset{s[0] &^ o[0], s[1] &^ o[1]} }
+func (s regset) empty() bool           { return s[0] == 0 && s[1] == 0 }
+
+// countVectors returns how many vector-register ids the set holds.
+func (s regset) countVectors() int {
+	lo := s[0] >> vecBase // vector ids 32..63 live in word 0 bits 32..63
+	return bits.OnesCount64(lo)
+}
+
+func fullSet() regset {
+	var s regset
+	for id := 0; id < universe; id++ {
+		s.add(id)
+	}
+	return s
+}
+
+// regID maps an asm register to its dataflow id.
+func regID(r asm.Reg) int { return int(r) }
+
+// instrUses returns the registers (and flags) an instruction reads,
+// excluding the always-zero xzr.
+func instrUses(in *asm.Instr) regset {
+	var s regset
+	for _, r := range in.Reads() {
+		if r == asm.XZR || r == asm.NoReg {
+			continue
+		}
+		s.add(regID(r))
+	}
+	if in.Op == asm.OpBne {
+		s.add(flagsID)
+	}
+	return s
+}
+
+// instrDefs returns the registers (and flags) an instruction writes;
+// writes to xzr are architectural no-ops and excluded.
+func instrDefs(in *asm.Instr) regset {
+	var s regset
+	for _, r := range in.Writes() {
+		if r == asm.XZR || r == asm.NoReg {
+			continue
+		}
+		s.add(regID(r))
+	}
+	if in.Op == asm.OpSubs {
+		s.add(flagsID)
+	}
+	return s
+}
+
+// block is a maximal straight-line instruction range [start, end).
+type block struct {
+	start, end   int
+	succs, preds []int
+}
+
+// graph is the control-flow graph of a program.
+type graph struct {
+	p       *asm.Program
+	blocks  []block
+	blockOf []int // instruction index -> block index
+}
+
+// buildGraph splits the program at labels and branches and links the
+// blocks. It fails only on branches to unregistered labels (which
+// Validate rejects first).
+func buildGraph(p *asm.Program) (*graph, error) {
+	n := len(p.Instrs)
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := 0; i < n; i++ {
+		switch p.Instrs[i].Op {
+		case asm.OpLabel:
+			leader[i] = true
+		case asm.OpB, asm.OpBne, asm.OpRet:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+	g := &graph{p: p, blockOf: make([]int, n)}
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			g.blocks = append(g.blocks, block{start: i})
+		}
+		g.blockOf[i] = len(g.blocks) - 1
+		g.blocks[len(g.blocks)-1].end = i + 1
+	}
+	link := func(from, to int) {
+		g.blocks[from].succs = append(g.blocks[from].succs, to)
+		g.blocks[to].preds = append(g.blocks[to].preds, from)
+	}
+	for bi := range g.blocks {
+		b := &g.blocks[bi]
+		last := &p.Instrs[b.end-1]
+		switch last.Op {
+		case asm.OpRet:
+			// no successors
+		case asm.OpB, asm.OpBne:
+			t, ok := p.LabelIndex(last.Label)
+			if !ok {
+				return nil, fmt.Errorf("branch at instr %d targets undefined label %q", b.end-1, last.Label)
+			}
+			link(bi, g.blockOf[t])
+			if last.Op == asm.OpBne && bi+1 < len(g.blocks) {
+				link(bi, bi+1)
+			}
+		default:
+			if bi+1 < len(g.blocks) {
+				link(bi, bi+1)
+			}
+		}
+	}
+	return g, nil
+}
+
+// loop is a counted SUBS/B.NE loop: the region of instructions from the
+// head label through the backward conditional branch.
+type loop struct {
+	head, latch int  // instruction indexes: OpLabel .. OpBne
+	simple      bool // no internal labels or branches: step analysis applies
+}
+
+// findLoops locates backward conditional branches and their regions.
+func findLoops(p *asm.Program) []loop {
+	var out []loop
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op != asm.OpBne {
+			continue
+		}
+		t, ok := p.LabelIndex(in.Label)
+		if !ok || t > i {
+			continue
+		}
+		l := loop{head: t, latch: i, simple: true}
+		for j := t + 1; j < i; j++ {
+			switch p.Instrs[j].Op {
+			case asm.OpLabel, asm.OpB, asm.OpBne, asm.OpRet:
+				l.simple = false
+			}
+		}
+		out = append(out, l)
+	}
+	return out
+}

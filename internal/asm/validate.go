@@ -3,10 +3,12 @@ package asm
 import "fmt"
 
 // Validate checks structural well-formedness of a program: every branch
-// targets a defined label, operand register classes match each opcode,
-// addressing immediates are 16-byte multiples where AArch64 requires it,
-// and the program terminates with RET. The micro-kernel generator runs
-// this on every kernel it emits.
+// targets a defined label, labels are unique and registered where they
+// appear, counted loops initialize their counter, operand register
+// classes match each opcode, addressing immediates are 16-byte multiples
+// where AArch64 requires it, and the program terminates with RET. The
+// micro-kernel generator runs this on every kernel it emits; deeper
+// semantic contracts are checked by internal/asm/analysis.
 func (p *Program) Validate() error {
 	if len(p.Instrs) == 0 {
 		return fmt.Errorf("asm: %s: empty program", p.Name)
@@ -17,9 +19,90 @@ func (p *Program) Validate() error {
 			return fmt.Errorf("asm: %s: instr %d (%s): %w", p.Name, i, in.Op, err)
 		}
 	}
+	if err := p.validateLabels(); err != nil {
+		return fmt.Errorf("asm: %s: %w", p.Name, err)
+	}
+	if err := p.validateLoops(); err != nil {
+		return fmt.Errorf("asm: %s: %w", p.Name, err)
+	}
 	last := p.Instrs[len(p.Instrs)-1]
 	if last.Op != OpRet {
 		return fmt.Errorf("asm: %s: program does not end in ret", p.Name)
+	}
+	return nil
+}
+
+// validateLabels checks that every OpLabel pseudo-instruction is unique
+// and registered in the label table at its own index. The Label() helper
+// maintains both invariants, but programs assembled by appending Instrs
+// directly (the band generator's interleaving, hand-built tests) can
+// silently shadow an earlier label, sending every branch to whichever
+// copy was registered.
+func (p *Program) validateLabels() error {
+	seen := make(map[string]int)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op != OpLabel {
+			continue
+		}
+		if prev, dup := seen[in.Label]; dup {
+			return fmt.Errorf("duplicate label %q at instrs %d and %d", in.Label, prev, i)
+		}
+		seen[in.Label] = i
+		if at, ok := p.labels[in.Label]; !ok || at != i {
+			return fmt.Errorf("label %q at instr %d is not registered there (use Program.Label)", in.Label, i)
+		}
+	}
+	return nil
+}
+
+// validateLoops checks the counted-loop protocol of every backward
+// conditional branch: the body must contain the SUBS that drives the
+// flags, the SUBS counter must be initialized somewhere before the loop
+// head, and no other branch may jump into the body from outside —
+// entering mid-loop skips the counter initialization, so the trip count
+// would be whatever the register happened to hold.
+func (p *Program) validateLoops() error {
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op != OpBne {
+			continue
+		}
+		head, ok := p.labels[in.Label]
+		if !ok || head > i {
+			continue // forward branches are not loops
+		}
+		ctr := NoReg
+		for j := i - 1; j > head; j-- {
+			if p.Instrs[j].Op == OpSubs {
+				ctr = p.Instrs[j].Src1
+				break
+			}
+		}
+		if ctr == NoReg {
+			return fmt.Errorf("loop %q (instrs %d..%d) has no subs to set the flags its b.ne reads", in.Label, head, i)
+		}
+		init := false
+		for j := 0; j < head && !init; j++ {
+			for _, w := range p.Instrs[j].Writes() {
+				if w == ctr {
+					init = true
+					break
+				}
+			}
+		}
+		if !init {
+			return fmt.Errorf("loop %q counter %s is never initialized before the loop head at instr %d", in.Label, ctr, head)
+		}
+		for k := range p.Instrs {
+			b := &p.Instrs[k]
+			if (b.Op != OpB && b.Op != OpBne) || k == i {
+				continue
+			}
+			if t, ok := p.labels[b.Label]; ok && t >= head && t <= i && (k <= head || k >= i) {
+				return fmt.Errorf("branch at instr %d jumps into loop %q (instrs %d..%d), skipping its counter initialization", k, in.Label, head, i)
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,115 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// countedLoop builds the canonical generated-loop shape: counter init,
+// label, body, SUBS, B.NE, RET.
+func countedLoop() *Program {
+	p := NewProgram("loop")
+	p.MovI(X(29), 4)
+	p.Label("head")
+	p.AddI(X(0), X(0), 8)
+	p.Subs(X(29), X(29), 1)
+	p.Bne("head")
+	p.Ret()
+	return p
+}
+
+func TestValidateCountedLoopOK(t *testing.T) {
+	if err := countedLoop().Validate(); err != nil {
+		t.Fatalf("canonical loop rejected: %v", err)
+	}
+}
+
+// TestValidateDuplicateLabel: a second OpLabel with the same name,
+// appended directly so Label()'s panic cannot catch it, must be
+// rejected — the registered index only matches one of the copies.
+func TestValidateDuplicateLabel(t *testing.T) {
+	p := countedLoop()
+	p.Instrs = append(p.Instrs[:len(p.Instrs)-1],
+		Instr{Op: OpLabel, Label: "head"},
+		Instr{Op: OpRet})
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Fatalf("duplicate label not rejected: %v", err)
+	}
+}
+
+// TestValidateUnregisteredLabel: an OpLabel never recorded via Label()
+// is invisible to branches and must be rejected.
+func TestValidateUnregisteredLabel(t *testing.T) {
+	p := countedLoop()
+	p.Instrs = append(p.Instrs[:len(p.Instrs)-1],
+		Instr{Op: OpLabel, Label: "orphan"},
+		Instr{Op: OpRet})
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("unregistered label not rejected: %v", err)
+	}
+}
+
+// TestValidateLoopWithoutSubs: a backward B.NE whose body never sets the
+// flags loops on stale state.
+func TestValidateLoopWithoutSubs(t *testing.T) {
+	p := NewProgram("nosubs")
+	p.MovI(X(29), 4)
+	p.Label("head")
+	p.AddI(X(29), X(29), -1)
+	p.Bne("head")
+	p.Ret()
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no subs") {
+		t.Fatalf("flagless loop not rejected: %v", err)
+	}
+}
+
+// TestValidateUninitializedCounter: the SUBS counter must be written
+// before the loop head, otherwise the trip count is garbage.
+func TestValidateUninitializedCounter(t *testing.T) {
+	p := NewProgram("noinit")
+	p.Label("head")
+	p.AddI(X(0), X(0), 8)
+	p.Subs(X(29), X(29), 1)
+	p.Bne("head")
+	p.Ret()
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "never initialized") {
+		t.Fatalf("uninitialized counter not rejected: %v", err)
+	}
+}
+
+// TestValidateBranchIntoLoop: jumping into a loop body from outside
+// skips the counter initialization and must be rejected.
+func TestValidateBranchIntoLoop(t *testing.T) {
+	p := NewProgram("sidedoor")
+	p.MovI(X(29), 4)
+	p.Label("head")
+	p.Label("mid")
+	p.AddI(X(0), X(0), 8)
+	p.Subs(X(29), X(29), 1)
+	p.Bne("head")
+	p.B("mid")
+	p.Ret()
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "jumps into loop") {
+		t.Fatalf("branch into loop body not rejected: %v", err)
+	}
+}
+
+// TestValidateForwardBranchStillAllowed: forward control flow around a
+// loop (epilogue skips and the like) is not a loop violation.
+func TestValidateForwardBranchStillAllowed(t *testing.T) {
+	p := NewProgram("fwd")
+	p.MovI(X(29), 4)
+	p.Subs(X(29), X(29), 1)
+	p.Bne("end")
+	p.AddI(X(0), X(0), 8)
+	p.Label("end")
+	p.Ret()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("forward branch rejected: %v", err)
+	}
+}

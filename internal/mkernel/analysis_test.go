@@ -1,0 +1,174 @@
+package mkernel
+
+import (
+	"strings"
+	"testing"
+
+	"autogemm/internal/asm"
+	"autogemm/internal/asm/analysis"
+	"autogemm/internal/hw"
+)
+
+// TestDifferentialAnalysis is the generator/analyzer differential: every
+// kernel the generator emits — all generatable tiles on every modeled
+// chip, rotation and accumulate variants, regular and ragged k_c — must
+// pass both structural validation and the dataflow analyzer with zero
+// findings. A finding here is a generator bug, an analyzer false
+// positive, or both; either way it fails.
+func TestDifferentialAnalysis(t *testing.T) {
+	done := map[int]bool{} // chips sharing a lane width generate identically
+	total := 0
+	for _, chip := range hw.All() {
+		if done[chip.Lanes] {
+			continue
+		}
+		done[chip.Lanes] = true
+		lanes := chip.Lanes
+		for _, tile := range FeasibleTiles(lanes) {
+			if !tile.Generatable(lanes) {
+				continue
+			}
+			for _, kc := range []int{lanes, 2*lanes + 1} {
+				for _, rotate := range []bool{false, true} {
+					for _, loadC := range []bool{false, true} {
+						cfg := Config{Tile: tile, KC: kc, Lanes: lanes,
+							Rotate: rotate, SigmaAI: chip.SigmaAI, LoadC: loadC,
+							SkipAnalysis: true}
+						p, err := Generate(cfg)
+						if err != nil {
+							t.Fatalf("%s: %v", cfg.Name(), err)
+						}
+						if err := p.Validate(); err != nil {
+							t.Fatalf("%s: %v", cfg.Name(), err)
+						}
+						opts, err := cfg.AnalysisOptions()
+						if err != nil {
+							t.Fatalf("%s: %v", cfg.Name(), err)
+						}
+						rep, err := analysis.Analyze(p, opts)
+						if err != nil {
+							t.Fatalf("%s: %v", cfg.Name(), err)
+						}
+						if !rep.OK() {
+							t.Errorf("%s:\n%s", cfg.Name(), rep.String())
+						}
+						if !rep.BoundsChecked {
+							t.Errorf("%s: bounds pass did not run", cfg.Name())
+						}
+						total++
+					}
+				}
+			}
+		}
+	}
+	if total < 400 {
+		t.Errorf("differential covered only %d kernels", total)
+	}
+}
+
+// TestDifferentialAnalysisBandsAndSVE extends the differential to band,
+// predicated-SVE and packing kernels.
+func TestDifferentialAnalysisBandsAndSVE(t *testing.T) {
+	lanes := 4
+	bands := []BandConfig{
+		{Segments: []Segment{{Tile: Tile{MR: 4, NR: 2 * lanes}, Count: 3}},
+			KC: 2*lanes + 1, Lanes: lanes, Rotate: true, Fuse: true, LoadC: true},
+		{Segments: []Segment{
+			{Tile: Tile{MR: 4, NR: 2 * lanes}, Count: 1},
+			{Tile: Tile{MR: 4, NR: lanes}, Count: 2}},
+			KC: 13, Lanes: lanes, Rotate: true, Fuse: true, LoadC: true},
+		{Segments: []Segment{{Tile: Tile{MR: 2, NR: lanes}, Count: 2}},
+			KC: lanes, Lanes: lanes},
+	}
+	for _, bc := range bands {
+		bc.SkipAnalysis = true
+		p, err := GenerateBand(bc)
+		if err != nil {
+			t.Fatalf("%s: %v", bc.Name(), err)
+		}
+		opts, err := bc.AnalysisOptions()
+		if err != nil {
+			t.Fatalf("%s: %v", bc.Name(), err)
+		}
+		rep, err := analysis.Analyze(p, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", bc.Name(), err)
+		}
+		if !rep.OK() {
+			t.Errorf("%s:\n%s", bc.Name(), rep.String())
+		}
+	}
+
+	for _, nr := range []int{7, 16, 33} {
+		for _, loadC := range []bool{false, true} {
+			cfg := PredConfig{Tile: Tile{MR: 3, NR: nr}, KC: 21, Lanes: 16,
+				LoadC: loadC, SkipAnalysis: true}
+			if !cfg.Feasible() {
+				continue
+			}
+			p, err := GeneratePredicated(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.Name(), err)
+			}
+			rep, err := analysis.Analyze(p, cfg.AnalysisOptions())
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.Name(), err)
+			}
+			if !rep.OK() {
+				t.Errorf("%s:\n%s", cfg.Name(), rep.String())
+			}
+			if !rep.BoundsChecked {
+				t.Errorf("%s: bounds pass did not run", cfg.Name())
+			}
+		}
+	}
+
+	pack := PackConfig{Rows: 5, Cols: 12, Lanes: 4, SkipAnalysis: true}
+	p, err := GeneratePack(pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analysis.Analyze(p, pack.AnalysisOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("%s:\n%s", pack.Name(), rep.String())
+	}
+}
+
+// TestAnalysisGateRejects exercises the gate itself: a corrupted kernel
+// run through analyzeGate (exactly what Generate does when SkipAnalysis
+// is false) must come back as a hard error, and the pristine program
+// must not.
+func TestAnalysisGateRejects(t *testing.T) {
+	cfg := Config{Tile: Tile{MR: 4, NR: 8}, KC: 9, Lanes: 4,
+		Rotate: true, SigmaAI: 4.0, LoadC: true, SkipAnalysis: true}
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := cfg.AnalysisOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := analyzeGate(p, opts); err != nil {
+		t.Fatalf("clean kernel rejected by gate: %v", err)
+	}
+	// The lint injection: the first C store becomes a load of the same
+	// accumulator, throwing the partial sum away.
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op == asm.OpStrQPost {
+			*in = asm.Instr{Op: asm.OpLdrQ, Dst: in.Dst, Src1: in.Src1}
+			break
+		}
+	}
+	err = analyzeGate(p, opts)
+	if err == nil {
+		t.Fatal("clobbered kernel passed the gate")
+	}
+	if !strings.Contains(err.Error(), "accumulator-clobber") {
+		t.Fatalf("gate error misses the clobber diagnostic: %v", err)
+	}
+}

@@ -28,6 +28,10 @@ type BandConfig struct {
 	LoadC    bool
 	SigmaAI  float64
 	Prefetch bool
+
+	// SkipAnalysis disables the dataflow analysis gate; see
+	// Config.SkipAnalysis.
+	SkipAnalysis bool
 }
 
 // Name returns a stable identifier for the band variant.
@@ -260,6 +264,15 @@ func GenerateBand(cfg BandConfig) (*asm.Program, error) {
 	p.Ret()
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if !cfg.SkipAnalysis {
+		opts, err := cfg.AnalysisOptions()
+		if err != nil {
+			return nil, err
+		}
+		if err := analyzeGate(p, opts); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }

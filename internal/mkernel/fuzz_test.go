@@ -3,6 +3,7 @@ package mkernel
 import (
 	"testing"
 
+	"autogemm/internal/asm/analysis"
 	"autogemm/internal/refgemm"
 	"autogemm/internal/sim"
 )
@@ -30,6 +31,20 @@ func FuzzGenerate(f *testing.F) {
 		}
 		if n := prog.VectorRegsUsed(); n > 32 {
 			t.Fatalf("%s: %d vector registers", cfg.Name(), n)
+		}
+		// The dataflow analyzer must agree: zero findings on anything the
+		// generator accepts (Generate gates on this too, but assert it
+		// explicitly so a gate regression cannot hide it).
+		opts, err := cfg.AnalysisOptions()
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		rep, err := analysis.Analyze(prog, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		if !rep.OK() {
+			t.Fatalf("%s: analyzer findings:\n%s", cfg.Name(), rep.String())
 		}
 		// Functional check against the reference.
 		arena := sim.NewArena(1 << 14)
@@ -83,6 +98,13 @@ func FuzzPredicated(f *testing.F) {
 		prog, err := GeneratePredicated(cfg)
 		if err != nil {
 			t.Fatalf("feasible config rejected: %v", err)
+		}
+		rep, err := analysis.Analyze(prog, cfg.AnalysisOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		if !rep.OK() {
+			t.Fatalf("%s: analyzer findings:\n%s", cfg.Name(), rep.String())
 		}
 		mr, nr, kc := cfg.Tile.MR, cfg.Tile.NR, cfg.KC
 		arena := sim.NewArena(4)

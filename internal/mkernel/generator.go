@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"autogemm/internal/asm"
+	"autogemm/internal/asm/analysis"
 )
 
 // Config selects a micro-kernel variant.
@@ -36,6 +37,13 @@ type Config struct {
 	LoadC bool
 	// Prefetch emits the prologue PRFM hints of Listing 1.
 	Prefetch bool
+
+	// SkipAnalysis disables the post-generation dataflow analysis gate
+	// (internal/asm/analysis). The zero value analyzes every kernel;
+	// tools that want the findings themselves (cmd/autogemm-lint) or
+	// tests that deliberately build broken variants set it. Not part of
+	// Name(): the emitted instructions are identical either way.
+	SkipAnalysis bool
 }
 
 // Name returns a stable identifier for the kernel variant.
@@ -181,6 +189,20 @@ func Generate(cfg Config) (*asm.Program, error) {
 	g.p.Ret()
 	if err := g.p.Validate(); err != nil {
 		return nil, err
+	}
+	if !cfg.SkipAnalysis {
+		opts := analysis.Options{
+			Bounds: &analysis.Bounds{
+				MR: cfg.Tile.MR, NR: cfg.Tile.NR, KC: cfg.KC, Lanes: cfg.Lanes,
+				AOverVectors: 1, BOverRows: 2,
+			},
+		}
+		if cfg.Rotate {
+			opts.Rotation = &analysis.RotationHint{ARows: g.rotA, BDouble: g.rotB}
+		}
+		if err := analyzeGate(g.p, opts); err != nil {
+			return nil, err
+		}
 	}
 	return g.p, nil
 }

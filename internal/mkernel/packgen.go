@@ -21,6 +21,10 @@ import (
 type PackConfig struct {
 	Rows, Cols int
 	Lanes      int
+
+	// SkipAnalysis disables the dataflow analysis gate; see
+	// Config.SkipAnalysis.
+	SkipAnalysis bool
 }
 
 // Name returns a stable identifier.
@@ -60,6 +64,11 @@ func GeneratePack(cfg PackConfig) (*asm.Program, error) {
 	p.Ret()
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if !cfg.SkipAnalysis {
+		if err := analyzeGate(p, cfg.AnalysisOptions()); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }

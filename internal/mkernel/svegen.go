@@ -17,6 +17,10 @@ type PredConfig struct {
 	KC    int
 	Lanes int
 	LoadC bool
+
+	// SkipAnalysis disables the dataflow analysis gate; see
+	// Config.SkipAnalysis.
+	SkipAnalysis bool
 }
 
 // Name returns a stable identifier.
@@ -153,6 +157,11 @@ func GeneratePredicated(cfg PredConfig) (*asm.Program, error) {
 	p.Ret()
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if !cfg.SkipAnalysis {
+		if err := analyzeGate(p, cfg.AnalysisOptions()); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }
