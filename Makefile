@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test lint bench clean
+.PHONY: check vet build test lint bench bench-smoke clean
 
 # check is the tier-1 gate CI runs: vet, build, full test suite.
 check: vet build test
@@ -25,8 +25,17 @@ lint:
 		else echo "injected $$k: detected"; fi; \
 	done
 
+# bench measures the execution engine on the ResNet-50 shapes —
+# interpreted vs compiled backend — and writes BENCH_$(BENCH_TAG).json.
+BENCH_TAG ?= local
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/compile/
+	$(GO) run ./cmd/autogemm-bench -json -tag $(BENCH_TAG)
+
+# bench-smoke is the fast CI variant: two layers, short measurements.
+bench-smoke:
+	$(GO) run ./cmd/autogemm-bench -json -tag smoke -layers L16,L20 -mintime 50ms
+	@rm -f BENCH_smoke.json
 
 clean:
 	$(GO) clean ./...

@@ -1,10 +1,12 @@
 // Command autogemm-bench regenerates the paper's tables and figures on
-// the simulated chips:
+// the simulated chips, and measures the real execution engine:
 //
 //	autogemm-bench -list
 //	autogemm-bench -exp table1
 //	autogemm-bench -exp fig5,fig6
 //	autogemm-bench -exp all
+//	autogemm-bench -json -tag local            # engine GFLOP/s -> BENCH_local.json
+//	autogemm-bench -json -tag smoke -layers L16,L20 -mintime 100ms
 package main
 
 import (
@@ -21,7 +23,20 @@ func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	exp := flag.String("exp", "", "comma-separated experiment ids, or 'all'")
 	outDir := flag.String("out", "", "also write each table as <dir>/<id>.csv")
+	jsonBench := flag.Bool("json", false, "benchmark the execution engine on the ResNet-50 shapes and write BENCH_<tag>.json")
+	tag := flag.String("tag", "local", "tag for the -json output file name")
+	chip := flag.String("chip", "KP920", "chip configuration for -json (kernel shapes/lanes)")
+	layers := flag.String("layers", "", "comma-separated ResNet-50 layer subset for -json (default: all)")
+	minTime := flag.Duration("mintime", 300*time.Millisecond, "minimum measurement time per -json data point")
 	flag.Parse()
+
+	if *jsonBench {
+		if err := runJSONBench(*tag, *chip, *layers, *minTime); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	reg := experiments.Registry()
 	if *list || *exp == "" {

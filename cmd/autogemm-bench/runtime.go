@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"autogemm/internal/core"
+	"autogemm/internal/hw"
+	"autogemm/internal/workload"
+)
+
+// The -json mode measures real wall-clock GFLOP/s of the functional
+// engine on the ResNet-50 shapes — interpreted backend vs compiled
+// closure-threaded backend, across worker counts — and writes the
+// result as BENCH_<tag>.json. This benchmarks the Go execution engine
+// itself (the thing internal/sim/compile accelerates), not the modelled
+// Arm chips; the cycle-accurate projections stay in -exp.
+
+type benchResult struct {
+	Tag        string             `json:"tag"`
+	Date       string             `json:"date"`
+	Chip       string             `json:"chip"`
+	GoMaxProcs int                `json:"goMaxProcs"`
+	Workers    []int              `json:"workers"`
+	Shapes     []benchShapeResult `json:"shapes"`
+	Summary    map[string]float64 `json:"summary"`
+}
+
+type benchShapeResult struct {
+	Name string `json:"name"`
+	M    int    `json:"m"`
+	N    int    `json:"n"`
+	K    int    `json:"k"`
+	// GFLOP/s keyed by backend ("interpreted"/"compiled") then by
+	// worker count. The interpreted backend is measured single-threaded
+	// only — it is the baseline for the speedup column.
+	GFLOPS   map[string]map[string]float64 `json:"gflops"`
+	Speedup1 float64                       `json:"speedup1"` // compiled/interpreted, 1 worker
+}
+
+func runJSONBench(tag, chipName, layers string, minTime time.Duration) error {
+	chip, err := hw.ByName(chipName)
+	if err != nil {
+		return err
+	}
+	maxW := runtime.NumCPU()
+	var workers []int
+	for w := 1; w <= maxW; w *= 2 {
+		workers = append(workers, w)
+	}
+	if last := workers[len(workers)-1]; last != maxW {
+		workers = append(workers, maxW)
+	}
+
+	shapes := workload.ResNet50()
+	if layers != "" {
+		keep := map[string]bool{}
+		for _, l := range strings.Split(layers, ",") {
+			keep[strings.TrimSpace(l)] = true
+		}
+		var sel []workload.Shape
+		for _, s := range shapes {
+			if keep[s.Name] {
+				sel = append(sel, s)
+			}
+		}
+		shapes = sel
+	}
+
+	res := benchResult{
+		Tag:        tag,
+		Date:       time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		Chip:       chip.Name,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Summary:    map[string]float64{},
+	}
+
+	var speedups []float64
+	for _, s := range shapes {
+		fmt.Fprintf(os.Stderr, "bench %s (%dx%dx%d)...\n", s.Name, s.M, s.N, s.K)
+		sr := benchShapeResult{Name: s.Name, M: s.M, N: s.N, K: s.K,
+			GFLOPS: map[string]map[string]float64{
+				"interpreted": {}, "compiled": {},
+			}}
+		// Slack past the minimal extents lets interior blocks run fully
+		// in place (see core.Run's doc comment).
+		a := make([]float32, s.M*s.K+4*chip.Lanes)
+		b := make([]float32, s.K*s.N+2*s.N+4*chip.Lanes)
+		c := make([]float32, s.M*s.N)
+		fill(a, 3)
+		fill(b, 5)
+
+		interp, err := benchPlan(chip, s, true)
+		if err != nil {
+			return err
+		}
+		g, err := measure(interp, c, a, b, 1, s.FLOPs(), minTime)
+		if err != nil {
+			return fmt.Errorf("%s interpreted: %w", s.Name, err)
+		}
+		sr.GFLOPS["interpreted"]["1"] = round3(g)
+
+		compiled, err := benchPlan(chip, s, false)
+		if err != nil {
+			return err
+		}
+		for _, w := range workers {
+			g, err := measure(compiled, c, a, b, w, s.FLOPs(), minTime)
+			if err != nil {
+				return fmt.Errorf("%s compiled w=%d: %w", s.Name, w, err)
+			}
+			sr.GFLOPS["compiled"][fmt.Sprint(w)] = round3(g)
+		}
+		sr.Speedup1 = round3(sr.GFLOPS["compiled"]["1"] / sr.GFLOPS["interpreted"]["1"])
+		speedups = append(speedups, sr.Speedup1)
+		res.Shapes = append(res.Shapes, sr)
+	}
+
+	if len(speedups) > 0 {
+		res.Summary["geomeanSpeedup1"] = round3(geomean(speedups))
+		sorted := append([]float64(nil), speedups...)
+		sort.Float64s(sorted)
+		res.Summary["minSpeedup1"] = round3(sorted[0])
+		res.Summary["maxSpeedup1"] = round3(sorted[len(sorted)-1])
+	}
+
+	out, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := "BENCH_" + tag + ".json"
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (geomean single-thread speedup %.2fx)\n",
+		path, res.Summary["geomeanSpeedup1"])
+	return nil
+}
+
+func benchPlan(chip *hw.Chip, s workload.Shape, forceInterp bool) (*core.Plan, error) {
+	opts := core.AutoOptions(chip)
+	opts.ForceInterp = forceInterp
+	return core.NewPlan(chip, s.M, s.N, s.K, opts)
+}
+
+// measure times RunParallel repetitions until minTime has elapsed and
+// returns GFLOP/s. The first (untimed) repetition warms the kernel and
+// scratch caches.
+func measure(plan *core.Plan, c, a, b []float32, workers int, flops float64, minTime time.Duration) (float64, error) {
+	if err := plan.RunParallel(c, a, b, workers); err != nil {
+		return 0, err
+	}
+	var reps int
+	start := time.Now()
+	for {
+		if err := plan.RunParallel(c, a, b, workers); err != nil {
+			return 0, err
+		}
+		reps++
+		if time.Since(start) >= minTime {
+			break
+		}
+	}
+	sec := time.Since(start).Seconds() / float64(reps)
+	return flops / sec / 1e9, nil
+}
+
+func fill(s []float32, seed uint32) {
+	x := seed | 1
+	for i := range s {
+		x = x*1664525 + 1013904223
+		s[i] = float32(x>>16)/65536*2 - 1
+	}
+}
+
+func geomean(xs []float64) float64 {
+	p := 1.0
+	for _, x := range xs {
+		p *= x
+	}
+	return math.Pow(p, 1/float64(len(xs)))
+}
+
+func round3(x float64) float64 { return float64(int64(x*1000+0.5)) / 1000 }

@@ -171,7 +171,31 @@ type Report struct {
 	// (it is skipped for programs with forward or unconditional
 	// branches, which the generator never emits).
 	BoundsChecked bool
+
+	// BoundsComplete strengthens BoundsChecked into a proof usable for
+	// check elision (internal/sim/compile): it is true only when every
+	// load and store the program can execute was resolved to the affine
+	// panel form, classified to exactly one operand panel, and verified
+	// in-bounds for every loop iteration (exact trip counts, no havoc).
+	// BoundsChecked with findings == 0 but BoundsComplete == false means
+	// some access was skipped as unresolvable — fine for a lint gate,
+	// not for removing runtime checks.
+	BoundsComplete bool
+
+	// AccessBanks classifies each instruction's memory access by operand
+	// panel: BankA, BankB or BankC, or BankNone for instructions without
+	// a classified access. Only meaningful when BoundsComplete is true;
+	// nil when the bounds pass did not run.
+	AccessBanks []int8
 }
+
+// Operand-panel bank identifiers used in Report.AccessBanks.
+const (
+	BankNone int8 = -1
+	BankA    int8 = 0
+	BankB    int8 = 1
+	BankC    int8 = 2
+)
 
 // OK reports a clean bill of health.
 func (r *Report) OK() bool { return len(r.Findings) == 0 }

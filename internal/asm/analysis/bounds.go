@@ -123,6 +123,11 @@ type boundsInterp struct {
 	st     boundsState
 	snaps  map[int]boundsState // label instruction index -> state
 	rewalk bool
+
+	// incomplete records that some access was skipped rather than proven
+	// (unknown address, absolute address, havoced loop, unknown opcode).
+	// It demotes Report.BoundsComplete without producing a finding.
+	incomplete bool
 }
 
 // checkBounds drives the symbolic walk. Loops must be the counted
@@ -159,6 +164,10 @@ func (a *analyzer) checkBounds(loops []loop) {
 		bi.st.preds[i] = -1
 	}
 	a.report.BoundsChecked = true
+	a.report.AccessBanks = make([]int8, len(p.Instrs))
+	for i := range a.report.AccessBanks {
+		a.report.AccessBanks[i] = BankNone
+	}
 
 	i := 0
 	for i < len(p.Instrs) {
@@ -173,6 +182,7 @@ func (a *analyzer) checkBounds(loops []loop) {
 		bi.step(in, i)
 		i++
 	}
+	a.report.BoundsComplete = !bi.incomplete
 }
 
 // val reads a scalar register's symbolic value.
@@ -248,6 +258,10 @@ func (bi *boundsInterp) step(in *asm.Instr, idx int) {
 		}
 		if lanes > 0 {
 			bi.checkAccess(idx, bi.val(in.Src1).addConst(in.Imm), int64(lanes)*4, in.Op == asm.OpSt1W)
+		} else {
+			// Provably zero active lanes: nothing to check, but the access
+			// stays unclassified, so the program cannot claim completeness.
+			bi.incomplete = true
 		}
 	case asm.OpPrfm, asm.OpNop, asm.OpLabel, asm.OpB, asm.OpBne, asm.OpRet,
 		asm.OpFmla, asm.OpVZero:
@@ -255,6 +269,7 @@ func (bi *boundsInterp) step(in *asm.Instr, idx int) {
 		// touch no scalar state or memory.
 	default:
 		// Unknown opcode writing a scalar register: drop to ⊤.
+		bi.incomplete = true
 		for _, r := range in.Writes() {
 			bi.set(r, symval{})
 		}
@@ -323,8 +338,11 @@ func (bi *boundsInterp) handleLoop(head, latch int) {
 }
 
 // havocBody forgets everything the loop body writes — the conservative
-// fallback when the trip count cannot be proven.
+// fallback when the trip count cannot be proven. Iterations beyond the
+// first were never walked, so their accesses are unverified: the program
+// loses completeness even if no finding is ever produced.
 func (bi *boundsInterp) havocBody(head, latch int) {
+	bi.incomplete = true
 	p := bi.a.p
 	for j := head + 1; j < latch; j++ {
 		in := &p.Instrs[j]
@@ -341,6 +359,7 @@ func (bi *boundsInterp) havocBody(head, latch int) {
 // address.
 func (bi *boundsInterp) checkAccess(idx int, addr symval, size int64, isStore bool) {
 	if !addr.known || size <= 0 {
+		bi.incomplete = true
 		return
 	}
 	b := bi.b
@@ -352,17 +371,28 @@ func (bi *boundsInterp) checkAccess(idx int, addr symval, size int64, isStore bo
 		}
 	}
 	if nbase == 0 {
+		bi.incomplete = true
 		return // absolute address: outside the panel model
 	}
 	bad := func(detail string) {
 		kind := KindOverRead
+		bi.incomplete = true
 		bi.a.addFinding(Finding{Kind: kind, Index: idx, Reg: asm.NoReg, Detail: detail})
 	}
 	if nbase > 1 || addr.k[base] != 1 {
+		bi.incomplete = true
 		bi.a.addFinding(Finding{Kind: KindBadAddress, Index: idx, Reg: asm.NoReg,
 			Detail: "address is not base + r·ld + c over a single panel"})
 		return
 	}
+	// Classify the access by operand panel. A single instruction reaching
+	// two different panels (possible only through exotic pointer reuse the
+	// generators never emit) defeats per-instruction bank binding.
+	bank := int8(base - symA)
+	if have := bi.a.report.AccessBanks[idx]; have != BankNone && have != bank {
+		bi.incomplete = true
+	}
+	bi.a.report.AccessBanks[idx] = bank
 	// Byte-stride coefficients must be whole multiples of 4 (the LSL-2
 	// element-to-byte conversion) on the matching stride only.
 	rowOf := func(sym int) (int64, bool) {
@@ -381,6 +411,7 @@ func (bi *boundsInterp) checkAccess(idx int, addr symval, size int64, isStore bo
 	case symA:
 		row, ok := rowOf(symLda)
 		if !ok {
+			bi.incomplete = true
 			bi.a.addFinding(Finding{Kind: KindBadAddress, Index: idx, Reg: asm.NoReg,
 				Detail: "A address mixes foreign strides"})
 			return
@@ -401,6 +432,7 @@ func (bi *boundsInterp) checkAccess(idx int, addr symval, size int64, isStore bo
 	case symB:
 		row, ok := rowOf(symLdb)
 		if !ok {
+			bi.incomplete = true
 			bi.a.addFinding(Finding{Kind: KindBadAddress, Index: idx, Reg: asm.NoReg,
 				Detail: "B address mixes foreign strides"})
 			return
@@ -419,6 +451,7 @@ func (bi *boundsInterp) checkAccess(idx int, addr symval, size int64, isStore bo
 	case symC:
 		row, ok := rowOf(symLdc)
 		if !ok {
+			bi.incomplete = true
 			bi.a.addFinding(Finding{Kind: KindBadAddress, Index: idx, Reg: asm.NoReg,
 				Detail: "C address mixes foreign strides"})
 			return

@@ -10,7 +10,9 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
 
 	"autogemm/internal/cache"
 	"autogemm/internal/hw"
@@ -104,6 +106,12 @@ type Options struct {
 	// limitation ("TVM does not support parallelism over the K
 	// dimension", §V-C).
 	ForceKCisK bool
+
+	// ForceInterp disables the compiled closure-threaded backend:
+	// every kernel runs on the checked interpreter (sim.Machine).
+	// Setting AUTOGEMM_INTERP=1 in the environment has the same
+	// effect. See docs/INTERNALS.md, "Compiled execution".
+	ForceInterp bool
 }
 
 // AutoOptions returns the paper's default configuration for a chip:
@@ -124,6 +132,33 @@ type Plan struct {
 	mu      sync.Mutex
 	tilings map[[2]int]tiling.Tiling // block (m, n) -> tiling
 	cache   *mkernel.Cache
+
+	interpOnly bool      // ForceInterp or AUTOGEMM_INTERP=1
+	pool       sync.Pool // *execState, one per concurrent worker
+
+	// Block-execution counters by path, updated atomically.
+	nInPlace, nABInPlace, nPacked, nInterp int64
+}
+
+// ExecStats counts block executions by path since the plan was created
+// (across all Run/RunParallel calls). It exposes which tier the engine
+// actually took — tests and benchmarks assert on it rather than
+// guessing from timings.
+type ExecStats struct {
+	InPlaceBlocks   int64 // compiled; A, B and C addressed in the user slices
+	ABInPlaceBlocks int64 // compiled; A/B in place, C staged through the block buffer
+	PackedBlocks    int64 // compiled over packed scratch panels
+	InterpBlocks    int64 // checked-interpreter fallback
+}
+
+// Stats returns a snapshot of the plan's execution counters.
+func (p *Plan) Stats() ExecStats {
+	return ExecStats{
+		InPlaceBlocks:   atomic.LoadInt64(&p.nInPlace),
+		ABInPlaceBlocks: atomic.LoadInt64(&p.nABInPlace),
+		PackedBlocks:    atomic.LoadInt64(&p.nPacked),
+		InterpBlocks:    atomic.LoadInt64(&p.nInterp),
+	}
 }
 
 // NewPlan validates the problem and resolves automatic parameters.
@@ -152,6 +187,8 @@ func NewPlan(chip *hw.Chip, m, n, k int, opts Options) (*Plan, error) {
 	if p.Opts.Strategy == nil {
 		p.Opts.Strategy = &tiling.DMT{Params: p.params, Opt: p.opt()}
 	}
+	p.interpOnly = opts.ForceInterp || os.Getenv("AUTOGEMM_INTERP") == "1"
+	p.pool.New = func() any { return p.newState() }
 	return p, nil
 }
 

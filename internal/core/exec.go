@@ -2,9 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"autogemm/internal/mkernel"
-	"autogemm/internal/sim"
+	"autogemm/internal/sim/compile"
 	"autogemm/internal/tiling"
 )
 
@@ -55,124 +56,267 @@ func panelBands(tl tiling.Tiling, lanes int) []band {
 	return bands
 }
 
+// kernelFuel bounds taken loop branches per kernel invocation — a
+// backstop against generator bugs, matching the interpreter's step cap.
+const kernelFuel = 1 << 31
+
 // Run computes C += A·B functionally through the generated kernels,
 // following the plan's blocking, packing, loop order and tiling. A, B
 // and C are row-major with leading dimensions K, N and N. This is the
 // verification path; Estimate projects its runtime on the target chip.
+//
+// Kernels proven bound-safe by the analyzer execute in compiled
+// closure-threaded form, addressing the operand slices directly where
+// the panel prechecks allow it; anything unproven (and everything, when
+// ForceInterp or AUTOGEMM_INTERP=1 is set) runs on the checked
+// interpreter over a per-worker arena. Slices longer than the minimum
+// m·k / k·n / m·n extents give the in-place fast path more room: edge
+// blocks whose kernels over-read past the matrix end otherwise fall
+// back to the packed path.
 func (p *Plan) Run(c, a, b []float32) error {
 	m, n, k := p.M, p.N, p.K
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		return fmt.Errorf("core: buffer sizes (%d,%d,%d) too small for %dx%dx%d",
 			len(a), len(b), len(c), m, n, k)
 	}
-	lanes := p.Chip.Lanes
-
-	// One arena holds the user matrices plus packing buffers. Generous
-	// slack absorbs the documented kernel over-reads.
-	arena := sim.NewArena(m*k + k*n + m*n + 4*(p.Opts.MC+8)*(p.Opts.KC+8) + 1<<12)
-	aAddr := arena.Alloc(m*k + 2*lanes)
-	bAddr := arena.Alloc(k*n + 2*n + 2*lanes)
-	cAddr := arena.Alloc(m*n + 2*lanes)
-	copy(arena.Slice(aAddr, m*k), a[:m*k])
-	copy(arena.Slice(bAddr, k*n), b[:k*n])
-	copy(arena.Slice(cAddr, m*n), c[:m*n])
-
-	// Packing and C-block buffers, sized for the largest block.
-	mcMax, ncMax, kcMax := p.Opts.MC, quantUp(p.Opts.NC, lanes), p.Opts.KC
-	packA := arena.Alloc(mcMax*kcMax + 2*lanes)
-	packB := arena.Alloc((kcMax+2)*(ncMax+mkernel.MaxNROverhang(lanes)) + 2*lanes)
-	cBufLD := ncMax + mkernel.MaxNROverhang(lanes)
-	cBuf := arena.Alloc((mcMax + mkernel.MaxMR) * cBufLD)
-
-	mach := sim.NewMachine(arena, lanes)
-
+	st := p.getState()
+	defer p.putState(st)
 	for _, blk := range p.blocks() {
-		if err := p.runBlock(mach, arena, blk, aAddr, bAddr, cAddr, packA, packB, cBuf, cBufLD); err != nil {
+		if err := p.runBlock(st, blk, c, a, b); err != nil {
 			return err
 		}
 	}
-	copy(c[:m*n], arena.Slice(cAddr, m*n))
 	return nil
 }
 
-// runBlock executes one cache block: pack, tile, run bands, unpack C.
-func (p *Plan) runBlock(mach *sim.Machine, arena *sim.Arena, blk blockIter,
-	aAddr, bAddr, cAddr, packA, packB, cBuf int64, cBufLD int) error {
+// bandCall is one compiled kernel invocation of a block: the program
+// plus its row/column placement inside the block.
+type bandCall struct {
+	cp  *compile.Program
+	row int
+	col int
+}
 
-	lanes := p.Chip.Lanes
-	n := p.N
-	k := p.K
-	nbQ := quantUp(blk.NB, lanes)
-
+// runBlock executes one cache block, choosing the cheapest proven path:
+//
+//  1. fully in place — compiled kernels address A, B and C directly in
+//     the user slices (PackNone, no padded overhang, prechecks pass);
+//  2. A/B in place, C staged through the padded block buffer;
+//  3. packed — A and B copied into scratch panels, C staged;
+//  4. checked interpreter over the per-worker arena, when any kernel of
+//     the block failed to compile or the plan forces interpretation.
+func (p *Plan) runBlock(st *execState, blk blockIter, c, a, b []float32) error {
 	tl, err := p.blockTiling(blk.MB, blk.NB)
 	if err != nil {
 		return err
 	}
+	bands := panelBands(tl, p.Chip.Lanes)
+	if !p.interpOnly {
+		if calls, ok := p.resolveCalls(bands, blk.KB); ok {
+			done, err := p.runBlockCompiled(st, blk, bands, calls, c, a, b)
+			if done || err != nil {
+				return err
+			}
+		}
+	}
+	return p.runBlockInterp(st, blk, bands, c, a, b)
+}
 
-	// Resolve A and B bases and leading dimensions per packing mode.
-	var aBase int64
-	var lda int
-	if p.Opts.Pack == PackNone {
-		aBase = aAddr + int64((blk.MOff*k+blk.KOff)*4)
-		lda = k
+// resolveCalls lowers the block's bands to compiled kernel invocations.
+// ok is false when any kernel failed to compile — the analyzer could
+// not prove its bounds — and the caller must use the interpreter. The
+// kernel cache memoizes failures, so repeated blocks do not re-analyze.
+func (p *Plan) resolveCalls(bands []band, kc int) (calls []bandCall, ok bool) {
+	for _, bd := range bands {
+		if p.Opts.Fuse && totalTiles(bd.segs) > 1 {
+			cp, err := p.cache.CompiledBand(mkernel.BandConfig{
+				Segments: bd.segs, KC: kc, Lanes: p.Chip.Lanes,
+				Rotate: p.Opts.Rotate, Fuse: true, LoadC: true, SigmaAI: p.Chip.SigmaAI,
+			})
+			if err != nil {
+				return nil, false
+			}
+			calls = append(calls, bandCall{cp: cp, row: bd.row, col: bd.firstCol})
+			continue
+		}
+		col := bd.firstCol
+		for _, seg := range bd.segs {
+			cp, err := p.cache.CompiledKernel(mkernel.Config{
+				Tile: seg.Tile, KC: kc, Lanes: p.Chip.Lanes,
+				Rotate: p.Opts.Rotate, LoadC: true, SigmaAI: p.Chip.SigmaAI,
+			})
+			if err != nil {
+				return nil, false
+			}
+			for i := 0; i < seg.Count; i++ {
+				calls = append(calls, bandCall{cp: cp, row: bd.row, col: col})
+				col += seg.Tile.NR
+			}
+		}
+	}
+	return calls, true
+}
+
+// blockFits reports whether every band stays geometrically inside the
+// block extents — no padded row or column overhang — the precondition
+// for storing C in place.
+func blockFits(bands []band, blk blockIter) bool {
+	for _, bd := range bands {
+		if bd.row+bd.mr > blk.MB || bd.firstCol+bd.width() > blk.NB {
+			return false
+		}
+	}
+	return true
+}
+
+// runBlockCompiled executes the block through the compiled backend.
+// done is false when the scratch prechecks fail (the caller then uses
+// the interpreter); the decision is made before any operand is written,
+// so a fallback never observes a half-executed block.
+func (p *Plan) runBlockCompiled(st *execState, blk blockIter, bands []band, calls []bandCall, c, a, b []float32) (bool, error) {
+	k, n := p.K, p.N
+	env := st.env
+	inPlaceAB := p.Opts.Pack == PackNone
+
+	// In-place operand offsets (elements) for a call.
+	aOff := func(cl bandCall) int64 { return int64((blk.MOff+cl.row)*k + blk.KOff) }
+	bOff := func(cl bandCall) int64 { return int64(blk.KOff*n + blk.NOff + cl.col) }
+	cOff := func(cl bandCall) int64 { return int64((blk.MOff+cl.row)*n + blk.NOff + cl.col) }
+
+	// Tier 1: everything in place. Requires exact geometric fit (stores
+	// into padding would clobber neighbouring C data) and every call's
+	// panel precheck passing against the real slice extents.
+	if inPlaceAB && blockFits(bands, blk) {
+		ok := true
+		for _, cl := range calls {
+			if cl.cp.Precheck(len(a), len(b), len(c),
+				aOff(cl), bOff(cl), cOff(cl), int64(k), int64(n), int64(n)) != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, cl := range calls {
+				if err := cl.cp.Run(env, a, b, c,
+					aOff(cl), bOff(cl), cOff(cl), int64(k), int64(n), int64(n), kernelFuel); err != nil {
+					return true, err
+				}
+			}
+			atomic.AddInt64(&p.nInPlace, 1)
+			return true, nil
+		}
+	}
+
+	// Tiers 2 and 3 stage C through the padded block buffer.
+	ldc := st.cBufLD
+	cBufOff := func(cl bandCall) int64 { return int64(cl.row*ldc + cl.col) }
+
+	// Tier 2: A and B still read in place.
+	useAB := inPlaceAB
+	if useAB {
+		for _, cl := range calls {
+			if cl.cp.Precheck(len(a), len(b), len(st.cBuf),
+				aOff(cl), bOff(cl), cBufOff(cl), int64(k), int64(n), int64(ldc)) != nil {
+				useAB = false
+				break
+			}
+		}
+	}
+
+	lda, ldb := blk.KB, ldc
+	if !useAB {
+		// Tier 3: precheck against the scratch panels before packing.
+		for _, cl := range calls {
+			if cl.cp.Precheck(len(st.packA), len(st.packB), len(st.cBuf),
+				int64(cl.row*lda), int64(cl.col), cBufOff(cl),
+				int64(lda), int64(ldb), int64(ldc)) != nil {
+				return false, nil
+			}
+		}
+		if ak := [4]int{blk.MOff, blk.KOff, blk.MB, blk.KB}; st.aKey != ak {
+			for i := 0; i < blk.MB; i++ {
+				copy(st.packA[i*lda:i*lda+blk.KB], a[(blk.MOff+i)*k+blk.KOff:])
+			}
+			st.aKey = ak
+		}
+		if bk := [4]int{blk.NOff, blk.KOff, blk.NB, blk.KB}; st.bKey != bk {
+			for r := 0; r < blk.KB; r++ {
+				copy(st.packB[r*ldb:r*ldb+blk.NB], b[(blk.KOff+r)*n+blk.NOff:])
+			}
+			st.bKey = bk
+		}
+	}
+
+	for i := 0; i < blk.MB; i++ {
+		copy(st.cBuf[i*ldc:i*ldc+blk.NB], c[(blk.MOff+i)*n+blk.NOff:])
+	}
+	for _, cl := range calls {
+		var err error
+		if useAB {
+			err = cl.cp.Run(env, a, b, st.cBuf,
+				aOff(cl), bOff(cl), cBufOff(cl), int64(k), int64(n), int64(ldc), kernelFuel)
+		} else {
+			err = cl.cp.Run(env, st.packA, st.packB, st.cBuf,
+				int64(cl.row*lda), int64(cl.col), cBufOff(cl),
+				int64(lda), int64(ldb), int64(ldc), kernelFuel)
+		}
+		if err != nil {
+			return true, err
+		}
+	}
+	for i := 0; i < blk.MB; i++ {
+		copy(c[(blk.MOff+i)*n+blk.NOff:(blk.MOff+i)*n+blk.NOff+blk.NB], st.cBuf[i*ldc:])
+	}
+	if useAB {
+		atomic.AddInt64(&p.nABInPlace, 1)
 	} else {
-		src := arena.Slice(aAddr, p.M*k)
-		dst := arena.Slice(packA, blk.MB*blk.KB)
-		for i := 0; i < blk.MB; i++ {
-			copy(dst[i*blk.KB:(i+1)*blk.KB], src[(blk.MOff+i)*k+blk.KOff:])
-		}
-		aBase, lda = packA, blk.KB
+		atomic.AddInt64(&p.nPacked, 1)
 	}
-	var bBase int64
-	var ldb int
-	if p.Opts.Pack == PackNone {
-		bBase = bAddr + int64((blk.KOff*n+blk.NOff)*4)
-		ldb = n
-	} else {
-		src := arena.Slice(bAddr, k*n)
-		ldbP := nbQ + mkernel.MaxNROverhang(lanes)
-		dst := arena.Slice(packB, (blk.KB+2)*ldbP)
-		for i := range dst {
-			dst[i] = 0
-		}
-		for r := 0; r < blk.KB; r++ {
-			copy(dst[r*ldbP:r*ldbP+blk.NB], src[(blk.KOff+r)*n+blk.NOff:(blk.KOff+r)*n+blk.NOff+blk.NB])
-		}
-		bBase, ldb = packB, ldbP
+	return true, nil
+}
+
+// runBlockInterp executes the block on the checked interpreter: the
+// operand regions are copied into the worker's frozen arena (a dense
+// pack — functionally identical for every packing mode), the bands run
+// through sim.Machine, and the C region is copied back.
+func (p *Plan) runBlockInterp(st *execState, blk blockIter, bands []band, c, a, b []float32) error {
+	lanes := p.Chip.Lanes
+	st.ensureInterp(lanes)
+	k, n := p.K, p.N
+	lda, ldb, ldc := blk.KB, st.cBufLD, st.cBufLD
+
+	aDst := st.arena.Slice(st.aReg, len(st.packA))
+	for i := 0; i < blk.MB; i++ {
+		copy(aDst[i*lda:i*lda+blk.KB], a[(blk.MOff+i)*k+blk.KOff:])
+	}
+	bDst := st.arena.Slice(st.bReg, len(st.packB))
+	for r := 0; r < blk.KB; r++ {
+		copy(bDst[r*ldb:r*ldb+blk.NB], b[(blk.KOff+r)*n+blk.NOff:])
+	}
+	cDst := st.arena.Slice(st.cReg, len(st.cBuf))
+	for i := 0; i < blk.MB; i++ {
+		copy(cDst[i*ldc:i*ldc+blk.NB], c[(blk.MOff+i)*n+blk.NOff:])
 	}
 
-	// Copy the C block into the padded buffer.
-	{
-		src := arena.Slice(cAddr, p.M*n)
-		dst := arena.Slice(cBuf, (p.Opts.MC+mkernel.MaxMR)*cBufLD)
-		for i := range dst {
-			dst[i] = 0
-		}
-		for i := 0; i < blk.MB; i++ {
-			copy(dst[i*cBufLD:i*cBufLD+blk.NB], src[(blk.MOff+i)*n+blk.NOff:(blk.MOff+i)*n+blk.NOff+blk.NB])
-		}
-	}
-
-	for _, bd := range panelBands(tl, lanes) {
-		aArg := aBase + int64(bd.row*lda*4)
-		bArg := bBase + int64(bd.firstCol*4)
-		cArg := cBuf + int64((bd.row*cBufLD+bd.firstCol)*4)
-		if err := p.runBand(mach, bd, blk.KB, aArg, bArg, cArg, lda, ldb, cBufLD); err != nil {
+	for _, bd := range bands {
+		aArg := st.aReg + int64(bd.row*lda*4)
+		bArg := st.bReg + int64(bd.firstCol*4)
+		cArg := st.cReg + int64((bd.row*ldc+bd.firstCol)*4)
+		if err := p.runBandInterp(st, bd, blk.KB, aArg, bArg, cArg, lda, ldb, ldc); err != nil {
 			return err
 		}
 	}
 
-	// Copy the useful region of the C buffer back.
-	src := arena.Slice(cBuf, (p.Opts.MC+mkernel.MaxMR)*cBufLD)
-	dst := arena.Slice(cAddr, p.M*n)
 	for i := 0; i < blk.MB; i++ {
-		copy(dst[(blk.MOff+i)*n+blk.NOff:(blk.MOff+i)*n+blk.NOff+blk.NB], src[i*cBufLD:i*cBufLD+blk.NB])
+		copy(c[(blk.MOff+i)*n+blk.NOff:(blk.MOff+i)*n+blk.NOff+blk.NB], cDst[i*ldc:])
 	}
+	atomic.AddInt64(&p.nInterp, 1)
 	return nil
 }
 
-// runBand executes one band, fused or tile-by-tile.
-func (p *Plan) runBand(mach *sim.Machine, bd band, kc int, aArg, bArg, cArg int64, lda, ldb, ldc int) error {
+// runBandInterp executes one band on the machine, fused or tile-by-tile.
+func (p *Plan) runBandInterp(st *execState, bd band, kc int, aArg, bArg, cArg int64, lda, ldb, ldc int) error {
+	mach := st.mach
 	if p.Opts.Fuse && totalTiles(bd.segs) > 1 {
 		prog, err := p.cache.Band(mkernel.BandConfig{
 			Segments: bd.segs, KC: kc, Lanes: p.Chip.Lanes,
@@ -187,7 +331,7 @@ func (p *Plan) runBand(mach *sim.Machine, bd band, kc int, aArg, bArg, cArg int6
 		mach.SetArg(3, int64(lda))
 		mach.SetArg(4, int64(ldb))
 		mach.SetArg(5, int64(ldc))
-		return mach.Run(prog, 1<<31)
+		return mach.Run(prog, kernelFuel)
 	}
 	colOff := int64(0)
 	for _, seg := range bd.segs {
@@ -205,7 +349,7 @@ func (p *Plan) runBand(mach *sim.Machine, bd band, kc int, aArg, bArg, cArg int6
 			mach.SetArg(3, int64(lda))
 			mach.SetArg(4, int64(ldb))
 			mach.SetArg(5, int64(ldc))
-			if err := mach.Run(prog, 1<<31); err != nil {
+			if err := mach.Run(prog, kernelFuel); err != nil {
 				return err
 			}
 			colOff += int64(seg.Tile.NR) * 4

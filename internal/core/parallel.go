@@ -3,10 +3,9 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
-
-	"autogemm/internal/mkernel"
-	"autogemm/internal/sim"
+	"sync/atomic"
 )
 
 // RunParallel is Run with the block grid executed by worker goroutines —
@@ -14,6 +13,14 @@ import (
 // path models. Different (m, n) blocks touch disjoint C regions, so they
 // run concurrently; the k chunks of one block accumulate in order within
 // a single worker. workers <= 0 uses GOMAXPROCS.
+//
+// Work distribution is a shared atomic counter over the C-tile groups:
+// each worker claims the next unclaimed group when it finishes its
+// current one, so an expensive edge group never serializes the rest
+// behind a static partition. Worker scratch comes from the plan's
+// sync.Pool and the compiled backend addresses the user slices in place
+// where proven safe, so the per-call cost is bounded by the block
+// staging copies, not a whole-matrix arena build.
 func (p *Plan) RunParallel(c, a, b []float32, workers int) error {
 	m, n, k := p.M, p.N, p.K
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
@@ -25,38 +32,26 @@ func (p *Plan) RunParallel(c, a, b []float32, workers int) error {
 	}
 
 	// Group the block iteration by (m, n) tile of C, keeping each
-	// group's k chunks in ascending order.
-	type group struct {
-		blocks []blockIter
-	}
-	index := make(map[[2]int]int)
-	var groups []group
+	// group's k chunks in ascending order (accumulation is
+	// order-sensitive only in rounding, but keep it deterministic).
+	nGroups := ((m + p.Opts.MC - 1) / p.Opts.MC) * ((n + p.Opts.NC - 1) / p.Opts.NC)
+	index := make(map[[2]int]int, nGroups)
+	groups := make([][]blockIter, 0, nGroups)
 	for _, blk := range p.blocks() {
 		key := [2]int{blk.MOff, blk.NOff}
 		gi, ok := index[key]
 		if !ok {
 			gi = len(groups)
 			index[key] = gi
-			groups = append(groups, group{})
+			groups = append(groups, nil)
 		}
-		groups[gi].blocks = append(groups[gi].blocks, blk)
+		groups[gi] = append(groups[gi], blk)
 	}
 	for _, g := range groups {
-		for i := 1; i < len(g.blocks); i++ {
-			if g.blocks[i].KOff < g.blocks[i-1].KOff {
-				// The chosen loop order interleaves k; restore chunk order
-				// within the group (accumulation is order-sensitive only
-				// in rounding, but keep it deterministic).
-				blocks := g.blocks
-				for a := 1; a < len(blocks); a++ {
-					for b := a; b > 0 && blocks[b].KOff < blocks[b-1].KOff; b-- {
-						blocks[b], blocks[b-1] = blocks[b-1], blocks[b]
-					}
-				}
-				break
-			}
-		}
+		g := g
+		sort.SliceStable(g, func(i, j int) bool { return g[i].KOff < g[j].KOff })
 	}
+
 	if workers > len(groups) {
 		workers = len(groups)
 	}
@@ -64,64 +59,56 @@ func (p *Plan) RunParallel(c, a, b []float32, workers int) error {
 		workers = 1
 	}
 
-	lanes := p.Chip.Lanes
-	arena := sim.NewArena(m*k + k*n + m*n + 1<<12)
-	aAddr := arena.Alloc(m*k + 2*lanes)
-	bAddr := arena.Alloc(k*n + 2*n + 2*lanes)
-	cAddr := arena.Alloc(m*n + 2*lanes)
-	copy(arena.Slice(aAddr, m*k), a[:m*k])
-	copy(arena.Slice(bAddr, k*n), b[:k*n])
-	copy(arena.Slice(cAddr, m*n), c[:m*n])
-
-	// Per-worker scratch buffers, all reserved before any goroutine runs
-	// (the arena may grow only during Alloc).
-	mcMax, ncMax, kcMax := p.Opts.MC, quantUp(p.Opts.NC, lanes), p.Opts.KC
-	cBufLD := ncMax + mkernel.MaxNROverhang(lanes)
-	type scratch struct {
-		packA, packB, cBuf int64
-	}
-	scratches := make([]scratch, workers)
-	for i := range scratches {
-		scratches[i] = scratch{
-			packA: arena.Alloc(mcMax*kcMax + 2*lanes),
-			packB: arena.Alloc((kcMax + 2) * (ncMax + mkernel.MaxNROverhang(lanes))),
-			cBuf:  arena.Alloc((mcMax + mkernel.MaxMR) * cBufLD),
+	runGroup := func(st *execState, g []blockIter) error {
+		for _, blk := range g {
+			if err := p.runBlock(st, blk, c, a, b); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
 
-	work := make(chan group)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
+	if workers == 1 {
+		st := p.getState()
+		defer p.putState(st)
+		for _, g := range groups {
+			if err := runGroup(st, g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    int64
+		failed  int32
+		mu      sync.Mutex
+		waitErr error
+		wg      sync.WaitGroup
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			mach := sim.NewMachine(arena, lanes)
-			sc := scratches[w]
-			for g := range work {
-				if errs[w] != nil {
-					continue // keep draining so the sender never blocks
+			st := p.getState()
+			defer p.putState(st)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(groups) || atomic.LoadInt32(&failed) != 0 {
+					return
 				}
-				for _, blk := range g.blocks {
-					if err := p.runBlock(mach, arena, blk, aAddr, bAddr, cAddr,
-						sc.packA, sc.packB, sc.cBuf, cBufLD); err != nil {
-						errs[w] = err
-						break
+				if err := runGroup(st, groups[i]); err != nil {
+					atomic.StoreInt32(&failed, 1)
+					mu.Lock()
+					if waitErr == nil {
+						waitErr = err
 					}
+					mu.Unlock()
+					return
 				}
 			}
-		}(w)
+		}()
 	}
-	for _, g := range groups {
-		work <- g
-	}
-	close(work)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	copy(c[:m*n], arena.Slice(cAddr, m*n))
-	return nil
+	return waitErr
 }

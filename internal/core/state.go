@@ -1,0 +1,82 @@
+package core
+
+import (
+	"autogemm/internal/mkernel"
+	"autogemm/internal/sim"
+	"autogemm/internal/sim/compile"
+)
+
+// execState is the per-worker execution scratch: a compiled-kernel
+// environment, packing and C-staging buffers, and (built lazily, only
+// when a block falls back to the checked interpreter) a frozen arena
+// with a machine over it. States are recycled through the plan's
+// sync.Pool — Run and RunParallel borrow one per worker instead of
+// allocating and triple-copying a whole-matrix arena per call.
+type execState struct {
+	env    *compile.Env
+	packA  []float32 // A block, row-major, lda = k_c
+	packB  []float32 // B panel, row-major, ldb = cBufLD
+	cBuf   []float32 // padded C block staging buffer
+	cBufLD int
+
+	// Pack-reuse keys: the (offset, shape) of the block currently held
+	// in packA/packB. A and B are read-only during a Run, so when the
+	// loop order revisits the same panel (e.g. the A block across the n
+	// loop in MNK order) the copy is skipped. Reset when the state is
+	// borrowed — the operand slices differ between calls.
+	aKey, bKey [4]int
+
+	// Interpreter fallback. The arena layout is fixed at construction
+	// and frozen before any kernel runs, honouring sim.Arena's growth
+	// contract: regions are element-sized like the slices above and
+	// refreshed by copy per block.
+	arena            *sim.Arena
+	mach             *sim.Machine
+	aReg, bReg, cReg int64
+}
+
+// newState sizes the scratch for the plan's largest block. Each buffer
+// carries the documented kernel slack: MaxMR rows of C/A for padded row
+// bands, MaxNROverhang columns for padded tiles, AOverVectors/BOverRows
+// elements beyond k_c for rotation preloads.
+func (p *Plan) newState() *execState {
+	lanes := p.Chip.Lanes
+	mcMax, ncMax, kcMax := p.Opts.MC, quantUp(p.Opts.NC, lanes), p.Opts.KC
+	ld := ncMax + mkernel.MaxNROverhang(lanes)
+	return &execState{
+		env:    compile.NewEnv(lanes),
+		packA:  make([]float32, (mcMax+mkernel.MaxMR)*kcMax+2*lanes),
+		packB:  make([]float32, (kcMax+2)*ld+2*lanes),
+		cBuf:   make([]float32, (mcMax+mkernel.MaxMR)*ld+2*lanes),
+		cBufLD: ld,
+	}
+}
+
+// ensureInterp builds the interpreter arena on first fallback use.
+func (st *execState) ensureInterp(lanes int) {
+	if st.mach != nil {
+		return
+	}
+	ar := sim.NewArena(len(st.packA) + len(st.packB) + len(st.cBuf) + 64)
+	st.aReg = ar.Alloc(len(st.packA))
+	st.bReg = ar.Alloc(len(st.packB))
+	st.cReg = ar.Alloc(len(st.cBuf))
+	ar.Freeze()
+	st.arena = ar
+	st.mach = sim.NewMachine(ar, lanes)
+}
+
+// noKey marks a pack buffer as holding no reusable panel.
+var noKey = [4]int{-1, -1, -1, -1}
+
+// getState borrows a worker state from the plan's pool.
+func (p *Plan) getState() *execState {
+	st := p.pool.Get().(*execState)
+	st.aKey, st.bKey = noKey, noKey
+	return st
+}
+
+// putState returns a state to the pool for reuse.
+func (p *Plan) putState(st *execState) {
+	p.pool.Put(st)
+}

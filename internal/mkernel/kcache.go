@@ -4,18 +4,36 @@ import (
 	"sync"
 
 	"autogemm/internal/asm"
+	"autogemm/internal/sim/compile"
 )
 
 // Cache memoizes generated kernels by configuration name. Kernel
 // generation is cheap but plans regenerate the same corner-case shapes
 // many times; the paper's library likewise JIT-caches its kernels.
+//
+// Compiled forms (internal/sim/compile) are cached alongside, including
+// negative results: a kernel the analyzer cannot prove bound-safe fails
+// compilation deterministically, so the error is memoized and repeated
+// Plan executions never re-run the analyzer just to fall back to the
+// interpreter again.
 type Cache struct {
-	mu    sync.Mutex
-	progs map[string]*asm.Program
+	mu       sync.Mutex
+	progs    map[string]*asm.Program
+	compiled map[string]compiledEntry
+}
+
+type compiledEntry struct {
+	prog *compile.Program
+	err  error
 }
 
 // NewCache returns an empty kernel cache.
-func NewCache() *Cache { return &Cache{progs: make(map[string]*asm.Program)} }
+func NewCache() *Cache {
+	return &Cache{
+		progs:    make(map[string]*asm.Program),
+		compiled: make(map[string]compiledEntry),
+	}
+}
 
 // Kernel returns the (possibly cached) kernel for cfg.
 func (c *Cache) Kernel(cfg Config) (*asm.Program, error) {
@@ -55,7 +73,74 @@ func (c *Cache) Band(cfg BandConfig) (*asm.Program, error) {
 	return p, nil
 }
 
-// Size reports how many kernels are cached.
+// CompiledKernel returns the closure-threaded form of the kernel for
+// cfg, or the memoized compile failure (callers then use the checked
+// interpreter on the asm form from Kernel).
+func (c *Cache) CompiledKernel(cfg Config) (*compile.Program, error) {
+	key := "c|" + cfg.Name()
+	c.mu.Lock()
+	if e, ok := c.compiled[key]; ok {
+		c.mu.Unlock()
+		return e.prog, e.err
+	}
+	c.mu.Unlock()
+	cp, err := c.compileKernel(cfg)
+	c.mu.Lock()
+	c.compiled[key] = compiledEntry{prog: cp, err: err}
+	c.mu.Unlock()
+	return cp, err
+}
+
+func (c *Cache) compileKernel(cfg Config) (*compile.Program, error) {
+	p, err := c.Kernel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	aopts, err := cfg.AnalysisOptions()
+	if err != nil {
+		return nil, err
+	}
+	return compile.Compile(p, compile.Options{
+		Lanes:    cfg.Lanes,
+		Bounds:   *aopts.Bounds,
+		Rotation: aopts.Rotation,
+	})
+}
+
+// CompiledBand returns the closure-threaded form of the band kernel for
+// cfg, with the same negative-caching behavior as CompiledKernel.
+func (c *Cache) CompiledBand(cfg BandConfig) (*compile.Program, error) {
+	key := "c|" + cfg.Name()
+	c.mu.Lock()
+	if e, ok := c.compiled[key]; ok {
+		c.mu.Unlock()
+		return e.prog, e.err
+	}
+	c.mu.Unlock()
+	cp, err := c.compileBand(cfg)
+	c.mu.Lock()
+	c.compiled[key] = compiledEntry{prog: cp, err: err}
+	c.mu.Unlock()
+	return cp, err
+}
+
+func (c *Cache) compileBand(cfg BandConfig) (*compile.Program, error) {
+	p, err := c.Band(cfg)
+	if err != nil {
+		return nil, err
+	}
+	aopts, err := cfg.AnalysisOptions()
+	if err != nil {
+		return nil, err
+	}
+	return compile.Compile(p, compile.Options{
+		Lanes:    cfg.Lanes,
+		Bounds:   *aopts.Bounds,
+		Rotation: aopts.Rotation,
+	})
+}
+
+// Size reports how many kernels are cached (asm forms only).
 func (c *Cache) Size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// TestArenaFreeze enforces the growth contract documented on Arena:
+// compiled kernels (and the packing loops in internal/core) capture
+// slices of the backing array, so every Alloc must happen before the
+// arena is frozen, and none after.
+func TestArenaFreeze(t *testing.T) {
+	a := NewArena(16)
+	base := a.Alloc(8)
+	a.Freeze()
+
+	s := a.Slice(base, 8)
+	s[0] = 42
+	if got := a.Float32(base); got != 42 {
+		t.Fatalf("slice does not alias arena after freeze: got %v", got)
+	}
+	if &a.Data()[base/4] != &s[0] {
+		t.Fatalf("Data and Slice disagree on backing array")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Alloc on frozen arena did not panic")
+		}
+	}()
+	a.Alloc(1)
+}
+
+// TestArenaGrowthInvalidatesSlices documents WHY Freeze exists: growth
+// reallocates, so a pre-growth slice no longer aliases the arena.
+func TestArenaGrowthInvalidatesSlices(t *testing.T) {
+	a := NewArena(4)
+	base := a.Alloc(4)
+	s := a.Slice(base, 4)
+	a.Alloc(1024) // forces reallocation
+	a.SetFloat32(base, 7)
+	if s[0] == 7 {
+		t.Fatalf("expected stale slice after growth; arena did not reallocate")
+	}
+}

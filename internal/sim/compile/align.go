@@ -1,0 +1,188 @@
+package compile
+
+import (
+	"fmt"
+
+	"autogemm/internal/asm"
+)
+
+// The alignment pass proves every memory address is a multiple of 4,
+// which the symbolic bounds pass does not track (it bounds the affine
+// coefficients, not their residues). The compiled closures index the
+// float32 banks with addr>>2, so a misaligned address would silently
+// floor where the interpreter's checkAddr errors out — alignment must be
+// a static theorem, not an assumption.
+//
+// The proof is a forward dataflow over the mod-4 residue of each scalar
+// register: residue ∈ {0,1,2,3} or unknown. Arguments x0..x2 are element
+// offsets scaled by 4 at Run entry, hence residue 0; the element strides
+// x3..x5 are unknown (kernels LSL them by 2 before use, which the
+// transfer function turns into residue 0). Merges happen at labels; the
+// backward conditional branches the bounds pass already requires make a
+// simple iterate-to-fixpoint walk sufficient.
+
+const unkRes = int8(-1)
+
+type resState [asm.NumScalarRegs]int8
+
+func mergeRes(a, b resState) (resState, bool) {
+	changed := false
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] != unkRes {
+				a[i] = unkRes
+				changed = true
+			}
+		}
+	}
+	return a, changed
+}
+
+// stepRes applies one instruction's transfer function.
+func stepRes(st *resState, in *asm.Instr) {
+	rd := func(r asm.Reg) int8 {
+		if r == asm.XZR {
+			return 0
+		}
+		if !r.IsScalar() {
+			return unkRes
+		}
+		return st[r.Index()]
+	}
+	wr := func(r asm.Reg, v int8) {
+		if r == asm.XZR || !r.IsScalar() {
+			return
+		}
+		st[r.Index()] = v
+	}
+	addImm := func(r int8, imm int64) int8 {
+		if r == unkRes {
+			return unkRes
+		}
+		return int8(((int64(r)+imm)%4 + 4) % 4)
+	}
+	switch in.Op {
+	case asm.OpMov:
+		wr(in.Dst, rd(in.Src1))
+	case asm.OpMovI:
+		wr(in.Dst, addImm(0, in.Imm))
+	case asm.OpLsl:
+		r := rd(in.Src1)
+		switch {
+		case in.Imm >= 2:
+			wr(in.Dst, 0)
+		case in.Imm == 1 && r != unkRes:
+			wr(in.Dst, (r*2)%4)
+		case in.Imm == 0:
+			wr(in.Dst, r)
+		default:
+			wr(in.Dst, unkRes)
+		}
+	case asm.OpAdd:
+		a, b := rd(in.Src1), rd(in.Src2)
+		if a == unkRes || b == unkRes {
+			wr(in.Dst, unkRes)
+		} else {
+			wr(in.Dst, (a+b)%4)
+		}
+	case asm.OpAddI:
+		wr(in.Dst, addImm(rd(in.Src1), in.Imm))
+	case asm.OpSubI, asm.OpSubs:
+		wr(in.Dst, addImm(rd(in.Src1), -in.Imm))
+	case asm.OpLdrQPost, asm.OpStrQPost:
+		wr(in.Src1, addImm(rd(in.Src1), in.Imm))
+	case asm.OpLdrQ, asm.OpStrQ, asm.OpLd1W, asm.OpSt1W,
+		asm.OpWhilelt, asm.OpPTrue, asm.OpFmla, asm.OpVZero,
+		asm.OpPrfm, asm.OpNop, asm.OpLabel, asm.OpB, asm.OpBne, asm.OpRet:
+		// No scalar register writes.
+	default:
+		for _, r := range in.Writes() {
+			wr(r, unkRes)
+		}
+	}
+}
+
+// checkAlignment runs the fixpoint and then verifies every access.
+func checkAlignment(p *asm.Program) error {
+	var entry resState
+	for i := range entry {
+		entry[i] = unkRes
+	}
+	entry[0], entry[1], entry[2] = 0, 0, 0 // A, B, C byte offsets: 4·element offset
+
+	labelIn := make(map[int]resState) // label instr index -> merged in-state
+	walk := func(verify bool) (bool, error) {
+		st := entry
+		changed := false
+		for i := range p.Instrs {
+			in := &p.Instrs[i]
+			if in.Op == asm.OpLabel {
+				if have, ok := labelIn[i]; ok {
+					merged, ch := mergeRes(have, st)
+					labelIn[i] = merged
+					changed = changed || ch
+					st = merged
+				} else {
+					labelIn[i] = st
+					changed = true
+				}
+			}
+			if verify {
+				if err := verifyAccess(&st, in, i); err != nil {
+					return false, err
+				}
+			}
+			if in.Op == asm.OpBne || in.Op == asm.OpB {
+				if t, ok := p.LabelIndex(in.Label); ok {
+					if have, ok2 := labelIn[t]; ok2 {
+						merged, ch := mergeRes(have, st)
+						labelIn[t] = merged
+						changed = changed || ch
+					} else {
+						labelIn[t] = st
+						changed = true
+					}
+				}
+			}
+			stepRes(&st, in)
+		}
+		return changed, nil
+	}
+
+	for pass := 0; ; pass++ {
+		if pass > 8 {
+			return fmt.Errorf("alignment fixpoint did not converge")
+		}
+		changed, _ := walk(false)
+		if !changed {
+			break
+		}
+	}
+	_, err := walk(true)
+	return err
+}
+
+// verifyAccess demands a proven residue-0 effective address.
+func verifyAccess(st *resState, in *asm.Instr, idx int) error {
+	var base asm.Reg
+	var off int64
+	switch in.Op {
+	case asm.OpLdrQ, asm.OpStrQ, asm.OpLd1W, asm.OpSt1W:
+		base, off = in.Src1, in.Imm
+	case asm.OpLdrQPost, asm.OpStrQPost:
+		base, off = in.Src1, 0
+	default:
+		return nil
+	}
+	r := st[base.Index()]
+	if base == asm.XZR {
+		r = 0
+	}
+	if r == unkRes {
+		return fmt.Errorf("instr %d (%s): base %s alignment unknown", idx, in.Op, base)
+	}
+	if res := ((int64(r)+off)%4 + 4) % 4; res != 0 {
+		return fmt.Errorf("instr %d (%s): address residue %d mod 4", idx, in.Op, res)
+	}
+	return nil
+}

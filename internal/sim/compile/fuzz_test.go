@@ -1,0 +1,161 @@
+package compile_test
+
+import (
+	"math"
+	"testing"
+
+	"autogemm/internal/asm"
+	"autogemm/internal/asm/analysis"
+	"autogemm/internal/sim"
+	"autogemm/internal/sim/compile"
+)
+
+// FuzzCompileDiff feeds random short programs through Compile and, for
+// every program the analyzer proves, cross-checks the compiled backend
+// against the checked interpreter. The invariant under test is the
+// bounds-elision contract itself: if Compile succeeds and Precheck
+// accepts the operands, the unchecked compiled run must neither fault
+// nor diverge from the interpreter — on state (C panel, scalar and
+// vector registers) bit for bit.
+func FuzzCompileDiff(f *testing.F) {
+	// Seeds: a plain accumulate loop, scalar shuffling, and raw bytes
+	// that decode into memory ops with varying offsets.
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{8, 200, 9, 14, 8, 23, 10, 42, 11, 7, 12, 99})
+	f.Add([]byte{13, 1, 2, 3, 13, 13, 13, 5, 6, 0, 0, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := buildFuzzProgram(data)
+		bounds := fuzzBounds()
+		cp, err := compile.Compile(p, compile.Options{Lanes: bounds.Lanes, Bounds: bounds})
+		if err != nil {
+			return // unproven or invalid: the interpreter path owns it
+		}
+
+		lanes := bounds.Lanes
+		lda := int64(bounds.KC + bounds.AOverVectors*lanes)
+		ldb := int64(bounds.NR)
+		ldc := int64(bounds.NR)
+		lenA := int(int64(bounds.MR-1)*lda) + bounds.KC + bounds.AOverVectors*lanes
+		lenB := int(int64(bounds.KC+bounds.BOverRows-1)*ldb) + bounds.NR
+		lenC := int(int64(bounds.MR-1)*ldc) + bounds.NR
+		a := make([]float32, lenA)
+		b := make([]float32, lenB)
+		c := make([]float32, lenC)
+		for i := range a {
+			a[i] = float32(i%17)*0.5 - 3
+		}
+		for i := range b {
+			b[i] = float32(i%11)*0.25 - 1
+		}
+		for i := range c {
+			c[i] = float32(i % 7)
+		}
+
+		got := append([]float32(nil), c...)
+		e := compile.NewEnv(lanes)
+		if err := cp.Run(e, a, b, got, 0, 0, 0, lda, ldb, ldc, 1<<20); err != nil {
+			// Precheck rejection is fine; a runtime fault is the elision
+			// proof failing and must never happen.
+			t.Fatalf("compiled run failed on prechecked operands: %v", err)
+		}
+
+		ar := sim.NewArena(lenA + lenB + lenC + 64)
+		aAddr := ar.Alloc(lenA)
+		bAddr := ar.Alloc(lenB)
+		cAddr := ar.Alloc(lenC)
+		ar.Freeze()
+		copy(ar.Slice(aAddr, lenA), a)
+		copy(ar.Slice(bAddr, lenB), b)
+		copy(ar.Slice(cAddr, lenC), c)
+		m := sim.NewMachine(ar, lanes)
+		m.SetArg(0, aAddr)
+		m.SetArg(1, bAddr)
+		m.SetArg(2, cAddr)
+		m.SetArg(3, lda)
+		m.SetArg(4, ldb)
+		m.SetArg(5, ldc)
+		if err := m.Run(p, 1<<24); err != nil {
+			t.Fatalf("interpreter rejected a program the compiler proved: %v", err)
+		}
+		want := ar.Slice(cAddr, lenC)
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("C[%d]: compiled %g != interpreted %g", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// fuzzBounds is the fixed panel model fuzz programs are checked
+// against: a tiny 2×4 tile over 3 k-steps.
+func fuzzBounds() analysis.Bounds {
+	return analysis.Bounds{MR: 2, NR: 4, KC: 3, Lanes: 4, AOverVectors: 1, BOverRows: 2}
+}
+
+// buildFuzzProgram decodes bytes into a short straight-line program
+// over a conservative vocabulary: scalar arithmetic on x6..x12, vector
+// ops on v0..v7, and A/B loads plus C load/store with small immediate
+// offsets derived from the input. Every program ends with Ret, so all
+// inputs terminate; whether the analyzer can prove one is up to the
+// byte stream.
+func buildFuzzProgram(data []byte) *asm.Program {
+	p := asm.NewProgram("fuzz")
+	x := func(b byte) asm.Reg { return asm.X(6 + int(b)%7) }
+	v := func(b byte) asm.Reg { return asm.V(int(b) % 8) }
+	next := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	// Base registers stay the ABI argument registers so addresses remain
+	// affine in the analyzer's symbols.
+	p.Lsl(asm.X(0), asm.X(0), 2)
+	p.Lsl(asm.X(1), asm.X(1), 2)
+	p.Lsl(asm.X(2), asm.X(2), 2)
+	p.VZero(asm.V(0)).VZero(asm.V(1)).VZero(asm.V(2)).VZero(asm.V(3))
+	p.VZero(asm.V(4)).VZero(asm.V(5)).VZero(asm.V(6)).VZero(asm.V(7))
+	n := len(data)
+	if n > 48 {
+		n = 48
+	}
+	for i := 0; i < n; i += 2 {
+		op, arg := next(i), next(i+1)
+		switch op % 14 {
+		case 0:
+			p.MovI(x(arg), int64(arg%32)*4)
+		case 1:
+			p.AddI(x(arg), x(arg>>3), int64(arg%8)*4)
+		case 2:
+			p.SubI(x(arg), x(arg), int64(arg%4)*4)
+		case 3:
+			p.Mov(x(arg), x(arg>>3))
+		case 4:
+			p.Add(x(arg), x(arg>>3), x(arg>>5))
+		case 5:
+			p.LdrQ(v(arg), asm.X(0), int64(arg%2)*16) // A row 0
+		case 6:
+			p.LdrQ(v(arg), asm.X(1), int64(arg%4)*16) // B rows
+		case 7:
+			p.LdrQ(v(arg), asm.X(2), 0) // C row 0
+		case 8:
+			p.Fmla(v(arg), v(arg>>3), v(arg>>5), int(arg)%4)
+		case 9:
+			p.VZero(v(arg))
+		case 10:
+			p.StrQ(v(arg), asm.X(2), 0) // C row 0
+		case 11:
+			p.Prfm(asm.X(1), int64(arg%4)*16)
+		case 12:
+			p.Subs(x(arg), x(arg), int64(arg%4))
+		case 13:
+			// A second-row access through an affine base copy.
+			p.Add(asm.X(13), asm.X(0), asm.X(3))
+			p.Lsl(asm.X(13), asm.X(3), 2)
+			p.Add(asm.X(13), asm.X(0), asm.X(13))
+			p.LdrQ(v(arg), asm.X(13), 0)
+		}
+	}
+	p.Ret()
+	return p
+}

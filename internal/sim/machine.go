@@ -17,9 +17,18 @@ import (
 // Arena is a flat float32 memory. Pointer values held in scalar registers
 // are byte offsets into the arena, so generated kernels can do AArch64
 // pointer arithmetic (lsl by 2, add leading-dimension strides) unchanged.
+//
+// Growth contract: Alloc may reallocate the backing array, so any slice
+// obtained through Slice (or Data) before an Alloc can go stale — it
+// would alias the old, abandoned backing array. Callers that capture
+// slices for the duration of an execution (the compiled backend in
+// internal/sim/compile does; so do the packing loops in internal/core)
+// must perform every Alloc first and then call Freeze, after which
+// further Alloc calls panic instead of silently invalidating captures.
 type Arena struct {
-	data []float32
-	next int64
+	data   []float32
+	next   int64
+	frozen bool
 }
 
 // NewArena allocates an arena holding n float32 words.
@@ -27,7 +36,12 @@ func NewArena(n int) *Arena { return &Arena{data: make([]float32, n)} }
 
 // Alloc reserves n words and returns their base byte address, aligned to
 // a 64-byte cache line the way a real allocator would align BLAS buffers.
+// Alloc panics on a frozen arena: growth after Freeze would strand every
+// captured slice on the old backing array.
 func (a *Arena) Alloc(n int) int64 {
+	if a.frozen {
+		panic("sim: Alloc on a frozen arena (captured slices would go stale)")
+	}
 	const lineWords = 16
 	if r := a.next % lineWords; r != 0 {
 		a.next += lineWords - r
@@ -41,6 +55,15 @@ func (a *Arena) Alloc(n int) int64 {
 	}
 	return base * 4
 }
+
+// Freeze seals the arena layout: subsequent Alloc calls panic. Call it
+// after all allocations and before handing slices of the arena to code
+// that holds them across an execution.
+func (a *Arena) Freeze() { a.frozen = true }
+
+// Data returns the whole backing array. The returned slice is only
+// guaranteed to stay valid on a frozen arena; see the growth contract.
+func (a *Arena) Data() []float32 { return a.data }
 
 // Slice returns the n words starting at byte address addr.
 func (a *Arena) Slice(addr int64, n int) []float32 {
