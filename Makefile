@@ -1,12 +1,22 @@
 GO ?= go
 
-.PHONY: check vet build test lint bench bench-smoke clean
+.PHONY: check vet staticcheck build test lint bench bench-smoke clean
 
-# check is the tier-1 gate CI runs: vet, build, full test suite.
-check: vet build test
+# check is the tier-1 gate CI runs: vet, staticcheck, build, full test
+# suite.
+check: vet staticcheck build test
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is available (CI installs it; local
+# environments without it skip with a notice rather than failing).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...

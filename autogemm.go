@@ -25,24 +25,34 @@ package autogemm
 
 import (
 	"fmt"
+	"os"
 	"sort"
-	"strings"
 
 	"autogemm/internal/asm"
 	"autogemm/internal/baselines"
 	"autogemm/internal/core"
 	"autogemm/internal/hw"
 	"autogemm/internal/mkernel"
+	"autogemm/internal/plan"
 	"autogemm/internal/tuner"
 )
 
-// Chips lists the supported chip model names.
+// Chips lists the supported chip model names, sorted and de-duplicated.
 func Chips() []string {
+	seen := make(map[string]bool)
 	var names []string
-	for _, c := range hw.All() {
-		names = append(names, c.Name)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
 	}
-	names = append(names, "Graviton3", "Didactic")
+	for _, c := range hw.All() {
+		add(c.Name)
+	}
+	add("Graviton3")
+	add("Didactic")
+	sort.Strings(names)
 	return names
 }
 
@@ -80,19 +90,49 @@ type Perf struct {
 }
 
 // Engine plans and executes GEMMs for one chip model. It is safe for
-// concurrent use; resolved plans are cached per shape and option set.
+// concurrent use: resolved plans are cached per fingerprint (shape +
+// option set) in a sharded, singleflight-deduplicated cache, so
+// concurrent first calls on the same shape plan exactly once. With a
+// plan directory configured (WithPlanDir or AUTOGEMM_PLAN_DIR), cache
+// misses first try to warm-start from the on-disk registry before
+// planning from scratch.
 type Engine struct {
-	chip  *hw.Chip
-	cache planCache
+	chip     *hw.Chip
+	plans    *plan.Cache[*core.Plan]
+	registry *plan.Registry
+}
+
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine)
+
+// WithPlanDir points the engine at an on-disk plan registry (see
+// cmd/autogemm-tune -plan-dir for pre-baking one). It overrides the
+// AUTOGEMM_PLAN_DIR environment variable; an empty dir disables the
+// registry.
+func WithPlanDir(dir string) EngineOption {
+	return func(e *Engine) {
+		if dir == "" {
+			e.registry = nil
+			return
+		}
+		e.registry = plan.NewRegistry(dir)
+	}
 }
 
 // New returns an engine for the named chip (see Chips).
-func New(chipName string) (*Engine, error) {
+func New(chipName string, opts ...EngineOption) (*Engine, error) {
 	chip, err := hw.ByName(chipName)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{chip: chip}, nil
+	e := &Engine{chip: chip, plans: plan.NewCache[*core.Plan]()}
+	if dir := os.Getenv("AUTOGEMM_PLAN_DIR"); dir != "" {
+		e.registry = plan.NewRegistry(dir)
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
 }
 
 // ChipName returns the engine's chip model.
@@ -115,28 +155,18 @@ func (e *Engine) resolve(opts *Options) (core.Options, error) {
 	co.Fuse = !opts.NoFuse
 	co.Cores = opts.Cores
 	if opts.Order != "" {
-		found := false
-		for _, o := range core.AllLoopOrders() {
-			if strings.EqualFold(o.String(), opts.Order) {
-				co.Order = o
-				found = true
-			}
-		}
-		if !found {
+		o, err := core.OrderFromString(opts.Order)
+		if err != nil {
 			return co, fmt.Errorf("autogemm: unknown loop order %q", opts.Order)
 		}
+		co.Order = o
 	}
-	switch strings.ToLower(opts.Pack) {
-	case "":
-		co.Pack = core.PackAuto
-	case "none":
-		co.Pack = core.PackNone
-	case "online":
-		co.Pack = core.PackOnline
-	case "offline":
-		co.Pack = core.PackOffline
-	default:
-		return co, fmt.Errorf("autogemm: unknown packing mode %q", opts.Pack)
+	if opts.Pack != "" {
+		p, err := core.PackFromString(opts.Pack)
+		if err != nil {
+			return co, fmt.Errorf("autogemm: unknown packing mode %q", opts.Pack)
+		}
+		co.Pack = p
 	}
 	return co, nil
 }
@@ -149,30 +179,24 @@ func (e *Engine) Multiply(c, a, b []float32, m, n, k int) error {
 	return e.MultiplyWith(nil, c, a, b, m, n, k)
 }
 
-// MultiplyWith is Multiply with explicit algorithm parameters.
+// MultiplyWith is Multiply with explicit algorithm parameters. Plans
+// are served from the engine's plan cache: repeated calls on the same
+// shape and options reuse the resolved plan and its generated kernels.
 func (e *Engine) MultiplyWith(opts *Options, c, a, b []float32, m, n, k int) error {
-	co, err := e.resolve(opts)
+	p, err := e.plan(opts, m, n, k)
 	if err != nil {
 		return err
 	}
-	plan, err := core.NewPlan(e.chip, m, n, k, co)
-	if err != nil {
-		return err
-	}
-	return plan.Run(c, a, b)
+	return p.Run(c, a, b)
 }
 
 // Estimate projects the performance of the plan on the engine's chip.
 func (e *Engine) Estimate(m, n, k int, opts *Options) (Perf, error) {
-	co, err := e.resolve(opts)
+	p, err := e.plan(opts, m, n, k)
 	if err != nil {
 		return Perf{}, err
 	}
-	plan, err := core.NewPlan(e.chip, m, n, k, co)
-	if err != nil {
-		return Perf{}, err
-	}
-	est, err := plan.Estimate()
+	est, err := p.Estimate()
 	if err != nil {
 		return Perf{}, err
 	}
@@ -200,12 +224,28 @@ func (e *Engine) EstimateProvider(provider string, m, n, k int) (Perf, error) {
 // Tune searches the Table III parameter space for the problem and
 // returns the best options found along with their projected performance.
 // budget caps the number of simulator evaluations (0 = default).
+//
+// The winning plan is inserted into the engine's plan cache — a
+// subsequent MultiplyWith using the returned options resolves to the
+// same fingerprint and executes the tuned plan without re-planning —
+// and, when a plan directory is configured, persisted to the registry
+// so later processes warm-start from it.
 func (e *Engine) Tune(m, n, k, budget int) (Options, Perf, error) {
-	res, err := tuner.Tune(tuner.Config{
+	rec, res, err := tuner.TunePlan(tuner.Config{
 		Chip: e.chip, M: m, N: n, K: k, UseModel: true, MaxEvals: budget,
 	})
 	if err != nil {
 		return Options{}, Perf{}, err
+	}
+	if _, err := e.plans.Get(rec.Fingerprint, func() (*core.Plan, error) {
+		return core.Attach(e.chip, rec, res.Best.Options())
+	}); err != nil {
+		return Options{}, Perf{}, err
+	}
+	if e.registry != nil {
+		if err := e.registry.Store(rec); err != nil {
+			return Options{}, Perf{}, err
+		}
 	}
 	best := Options{
 		MC: res.Best.MC, NC: res.Best.NC, KC: res.Best.KC,

@@ -2,52 +2,19 @@ package autogemm
 
 import (
 	"fmt"
-	"sync"
 
 	"autogemm/internal/core"
 )
 
-// planCache memoizes resolved plans per engine so repeated calls on the
-// same shape (the batched-small-GEMM pattern the paper's introduction
-// motivates) skip blocking resolution, tiling and kernel generation.
-type planCache struct {
-	mu    sync.Mutex
-	plans map[planKey]*core.Plan
-}
-
-type planKey struct {
-	m, n, k int
-	opts    Options
-}
-
+// plan resolves public options and returns the cached executor for the
+// problem, planning (or registry warm-starting) on first request. See
+// planResolved in plan.go for the cache and registry mechanics.
 func (e *Engine) plan(opts *Options, m, n, k int) (*core.Plan, error) {
-	var key planKey
-	key.m, key.n, key.k = m, n, k
-	if opts != nil {
-		key.opts = *opts
-	}
-	e.cache.mu.Lock()
-	if e.cache.plans == nil {
-		e.cache.plans = make(map[planKey]*core.Plan)
-	}
-	if p, ok := e.cache.plans[key]; ok {
-		e.cache.mu.Unlock()
-		return p, nil
-	}
-	e.cache.mu.Unlock()
-
 	co, err := e.resolve(opts)
 	if err != nil {
 		return nil, err
 	}
-	p, err := core.NewPlan(e.chip, m, n, k, co)
-	if err != nil {
-		return nil, err
-	}
-	e.cache.mu.Lock()
-	e.cache.plans[key] = p
-	e.cache.mu.Unlock()
-	return p, nil
+	return e.planResolved(co, m, n, k)
 }
 
 // SGEMM computes C = α·op(A)·op(B) + β·C with the full BLAS-3 parameter
@@ -93,7 +60,5 @@ func (e *Engine) MultiplyBatch(c, a, b [][]float32, m, n, k int) error {
 
 // CachedPlans reports how many resolved plans the engine holds.
 func (e *Engine) CachedPlans() int {
-	e.cache.mu.Lock()
-	defer e.cache.mu.Unlock()
-	return len(e.cache.plans)
+	return e.plans.Len()
 }

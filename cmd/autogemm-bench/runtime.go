@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"autogemm"
 	"autogemm/internal/core"
 	"autogemm/internal/hw"
 	"autogemm/internal/workload"
@@ -42,6 +43,12 @@ type benchShapeResult struct {
 	// only — it is the baseline for the speedup column.
 	GFLOPS   map[string]map[string]float64 `json:"gflops"`
 	Speedup1 float64                       `json:"speedup1"` // compiled/interpreted, 1 worker
+
+	// Planning overhead through the public engine: first PlanFor on the
+	// shape (cold — blocking resolution, DMT, kernel-key enumeration)
+	// vs a repeated PlanFor (warm — plan-cache hit).
+	PlanColdMicros float64 `json:"planColdMicros"`
+	PlanWarmMicros float64 `json:"planWarmMicros"`
 }
 
 func runJSONBench(tag, chipName, layers string, minTime time.Duration) error {
@@ -82,6 +89,13 @@ func runJSONBench(tag, chipName, layers string, minTime time.Duration) error {
 		Summary:    map[string]float64{},
 	}
 
+	// One public engine across all shapes: its plan-cache counters give
+	// the hit rate reported in the summary.
+	eng, err := autogemm.New(chip.Name)
+	if err != nil {
+		return err
+	}
+
 	var speedups []float64
 	for _, s := range shapes {
 		fmt.Fprintf(os.Stderr, "bench %s (%dx%dx%d)...\n", s.Name, s.M, s.N, s.K)
@@ -120,6 +134,14 @@ func runJSONBench(tag, chipName, layers string, minTime time.Duration) error {
 		}
 		sr.Speedup1 = round3(sr.GFLOPS["compiled"]["1"] / sr.GFLOPS["interpreted"]["1"])
 		speedups = append(speedups, sr.Speedup1)
+
+		cold, warm, err := timePlanning(eng, s)
+		if err != nil {
+			return fmt.Errorf("%s planning: %w", s.Name, err)
+		}
+		sr.PlanColdMicros = round3(float64(cold.Nanoseconds()) / 1e3)
+		sr.PlanWarmMicros = round3(float64(warm.Nanoseconds()) / 1e3)
+
 		res.Shapes = append(res.Shapes, sr)
 	}
 
@@ -130,6 +152,7 @@ func runJSONBench(tag, chipName, layers string, minTime time.Duration) error {
 		res.Summary["minSpeedup1"] = round3(sorted[0])
 		res.Summary["maxSpeedup1"] = round3(sorted[len(sorted)-1])
 	}
+	res.Summary["planCacheHitRate"] = round3(eng.PlanCacheStats().HitRate)
 
 	out, err := json.MarshalIndent(&res, "", "  ")
 	if err != nil {
@@ -142,6 +165,30 @@ func runJSONBench(tag, chipName, layers string, minTime time.Duration) error {
 	fmt.Printf("wrote %s (geomean single-thread speedup %.2fx)\n",
 		path, res.Summary["geomeanSpeedup1"])
 	return nil
+}
+
+// timePlanning measures the cold (first PlanFor — plan construction)
+// and warm (second PlanFor — plan-cache hit) planning latency of a
+// shape on the shared public engine. The warm figure is the median of
+// several probes: a single cache hit is fast enough to be noisy.
+func timePlanning(eng *autogemm.Engine, s workload.Shape) (cold, warm time.Duration, err error) {
+	start := time.Now()
+	if _, err = eng.PlanFor(nil, s.M, s.N, s.K); err != nil {
+		return 0, 0, err
+	}
+	cold = time.Since(start)
+
+	const probes = 5
+	times := make([]time.Duration, probes)
+	for i := range times {
+		start = time.Now()
+		if _, err = eng.PlanFor(nil, s.M, s.N, s.K); err != nil {
+			return 0, 0, err
+		}
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return cold, times[probes/2], nil
 }
 
 func benchPlan(chip *hw.Chip, s workload.Shape, forceInterp bool) (*core.Plan, error) {

@@ -1,23 +1,31 @@
-// Package core assembles the paper's contribution into a working GEMM:
-// cache blocking (m_c, n_c, k_c), data packing (σ_packing), loop ordering
-// (σ_order), micro-tiling of each block (package tiling), and execution
-// of the generated micro-kernels (package mkernel) — both functionally
-// (numerical results via the simulator's machine) and as a cycle
-// estimate (per-band timing simulation composed over the block grid,
-// with residency-dependent load latencies, packing costs and a
-// multi-core bandwidth/topology model).
+// Package core assembles the paper's contribution into a working GEMM,
+// split along the plan boundary:
+//
+//   - the *planner* (planner.go, Produce) resolves cache blocking
+//     (m_c, n_c, k_c), data packing (σ_packing), loop ordering
+//     (σ_order) and the micro-tiling of each distinct block (package
+//     tiling), and captures everything in an immutable, serializable
+//     plan.Plan;
+//   - the *executor* (this file, exec.go, estimate.go; Attach) replays
+//     a plan — functionally (numerical results via the compiled
+//     backend or the simulator's machine) and as a cycle estimate
+//     (per-band timing simulation composed over the block grid) —
+//     without re-deriving any planning decision.
+//
+// NewPlan composes the two for callers that want the classic one-shot
+// flow; the Engine-level plan cache and registry warm-start path call
+// Produce and Attach separately.
 package core
 
 import (
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 
-	"autogemm/internal/cache"
 	"autogemm/internal/hw"
 	"autogemm/internal/mkernel"
 	"autogemm/internal/perfmodel"
+	"autogemm/internal/plan"
 	"autogemm/internal/tiling"
 )
 
@@ -95,6 +103,11 @@ type Options struct {
 	// Strategy tiles each block; nil selects DMT with the chip's params.
 	Strategy tiling.Strategy
 
+	// DMTCandidates narrows the register-tile candidate set when the
+	// strategy is DMT (used by the ablation experiments); nil means the
+	// full generatable tile space.
+	DMTCandidates []mkernel.Tile
+
 	// CallOverhead adds fixed cycles per GEMM call (library dispatch);
 	// used by the baseline library models.
 	CallOverhead int
@@ -121,17 +134,27 @@ func AutoOptions(chip *hw.Chip) Options {
 	return Options{Rotate: true, Fuse: true, Pack: PackAuto}
 }
 
-// Plan is a fully-resolved execution recipe for one (M, N, K) problem on
-// one chip.
+// Plan is an executor bound to one immutable recipe: a fully-resolved
+// execution plan for one (M, N, K) problem on one chip. All planning
+// state (blocking, loop order, packing, per-block tilings) lives in
+// Recipe; the rest of the struct is runtime machinery — the kernel
+// cache, per-worker scratch and execution counters.
 type Plan struct {
 	Chip    *hw.Chip
 	M, N, K int
-	Opts    Options
+	Opts    Options // resolved: MC/NC/KC, Order and Pack are concrete
 
-	params  perfmodel.Params
+	// Recipe is the serializable plan this executor replays. Treat it
+	// as read-only; RestrictDMTCandidates swaps in a freshly produced
+	// one rather than mutating it.
+	Recipe *plan.Plan
+
+	params perfmodel.Params
+	cache  *mkernel.Cache
+
 	mu      sync.Mutex
-	tilings map[[2]int]tiling.Tiling // block (m, n) -> tiling
-	cache   *mkernel.Cache
+	tilings map[[2]int]tiling.Tiling // block (m, n) -> tiling, from Recipe
+	progs   map[[3]int]*blockProg    // block (m, n, k) -> resolved kernels
 
 	interpOnly bool      // ForceInterp or AUTOGEMM_INTERP=1
 	pool       sync.Pool // *execState, one per concurrent worker
@@ -161,121 +184,59 @@ func (p *Plan) Stats() ExecStats {
 	}
 }
 
-// NewPlan validates the problem and resolves automatic parameters.
+// NewPlan validates the problem, produces a fresh plan and attaches an
+// executor to it — the classic one-shot flow. Callers that cache or
+// persist plans use Produce and Attach separately.
 func NewPlan(chip *hw.Chip, m, n, k int, opts Options) (*Plan, error) {
-	if m <= 0 || n <= 0 || k <= 0 {
-		return nil, fmt.Errorf("core: invalid problem %dx%dx%d", m, n, k)
+	rec, err := Produce(chip, m, n, k, opts)
+	if err != nil {
+		return nil, err
 	}
-	if chip == nil {
-		return nil, fmt.Errorf("core: nil chip")
-	}
-	p := &Plan{Chip: chip, M: m, N: n, K: k, Opts: opts,
-		params:  perfmodel.FromChip(chip),
-		tilings: make(map[[2]int]tiling.Tiling),
-		cache:   mkernel.NewCache(),
-	}
-	if p.Opts.Pack == PackAuto {
-		// Skip packing when the whole B matrix fits L1 alongside the A
-		// and C bands; otherwise pack online.
-		if k*quantUp(n, chip.Lanes)*4 <= chip.L1D.SizeBytes*3/4 {
-			p.Opts.Pack = PackNone
-		} else {
-			p.Opts.Pack = PackOnline
-		}
-	}
-	p.resolveBlocking()
-	if p.Opts.Strategy == nil {
-		p.Opts.Strategy = &tiling.DMT{Params: p.params, Opt: p.opt()}
-	}
-	p.interpOnly = opts.ForceInterp || os.Getenv("AUTOGEMM_INTERP") == "1"
-	p.pool.New = func() any { return p.newState() }
-	return p, nil
+	return Attach(chip, rec, opts)
 }
 
 func (p *Plan) opt() perfmodel.Opt {
 	return perfmodel.Opt{Rotate: p.Opts.Rotate, Fuse: p.Opts.Fuse}
 }
 
-// resolveBlocking picks m_c, n_c, k_c when unset: k_c sized so a B panel
-// (k_c × n_c) plus the A band fits L1 (Eqn 1's residency assumption),
-// m_c so the A block fits L2, following Goto's layering.
-func (p *Plan) resolveBlocking() {
-	chip := p.Chip
-	o := &p.Opts
-	lanes := chip.Lanes
-	if o.ForceKCisK {
-		o.KC = p.K
-	}
-	if o.KC <= 0 {
-		// Half of L1 for the B panel at the default n_c target.
-		target := chip.L1D.SizeBytes / 2 / 4 / 64 // elements of k per 64-wide panel
-		o.KC = clamp(target, lanes, 256)
-		if o.KC > p.K {
-			o.KC = p.K
-		}
-	}
-	if o.NC <= 0 {
-		nc := (chip.L1D.SizeBytes / 2 / 4) / max(o.KC, 1)
-		nc = nc / lanes * lanes
-		o.NC = clamp(nc, lanes, 512)
-		if o.NC > p.N {
-			o.NC = quantUp(p.N, lanes)
-		}
-	}
-	if o.MC <= 0 {
-		mc := (chip.L2.SizeBytes / 2 / 4) / max(o.KC, 1)
-		o.MC = clamp(mc, 4, 256)
-		if o.MC > p.M {
-			o.MC = p.M
-		}
-	}
-}
-
-// RestrictDMTCandidates narrows the default DMT strategy's register-tile
-// candidate set (used by the ablation experiments); it has no effect
-// when a custom strategy was supplied. Cached tilings are discarded.
+// RestrictDMTCandidates narrows the DMT register-tile candidate set
+// (used by the ablation experiments) by re-producing the recipe with
+// the restriction applied; it has no effect when a non-DMT strategy
+// was supplied. Resolved tilings and kernel programs are replaced.
 func (p *Plan) RestrictDMTCandidates(tiles []mkernel.Tile) {
-	if d, ok := p.Opts.Strategy.(*tiling.DMT); ok {
-		d.Candidates = tiles
-		p.mu.Lock()
-		p.tilings = make(map[[2]int]tiling.Tiling)
-		p.mu.Unlock()
-	}
-}
-
-// blockTiling returns (and caches) the tiling for a block shape. When
-// the plan uses the default DMT strategy, the tiler's cost model is
-// re-parameterized with the load latency of the level where this block's
-// working set actually resides (a block spilling to L2 favours different
-// tile shapes than an L1-resident one).
-func (p *Plan) blockTiling(m, n int) (tiling.Tiling, error) {
-	key := [2]int{m, n}
-	p.mu.Lock()
-	if tl, ok := p.tilings[key]; ok {
-		p.mu.Unlock()
-		return tl, nil
-	}
-	p.mu.Unlock()
-	kc := min(p.Opts.KC, p.K)
-	strat := p.Opts.Strategy
-	if d, ok := strat.(*tiling.DMT); ok {
-		lat := p.blockLoadLatency(cache.NewHierarchy(p.Chip), m, n, kc)
-		strat = &tiling.DMT{
-			Params:     d.Params.WithLoadLatency(float64(lat)),
-			Opt:        d.Opt,
-			Candidates: d.Candidates,
+	if p.Opts.Strategy != nil {
+		if _, ok := p.Opts.Strategy.(*tiling.DMT); !ok {
+			return
 		}
 	}
-	tl, err := strat.Tile(m, n, kc)
+	opts := p.Opts
+	opts.DMTCandidates = tiles
+	rec, err := Produce(p.Chip, p.M, p.N, p.K, opts)
 	if err != nil {
-		return tiling.Tiling{}, err
+		return
 	}
-	if err := tl.Validate(p.Chip.Lanes); err != nil {
-		return tiling.Tiling{}, fmt.Errorf("core: strategy %s: %w", p.Opts.Strategy.Name(), err)
+	tilings := make(map[[2]int]tiling.Tiling, len(rec.Blocks))
+	for _, blk := range rec.Blocks {
+		tilings[[2]int{blk.M, blk.N}] = tiling.FromPlanBlock(blk)
 	}
 	p.mu.Lock()
-	p.tilings[key] = tl
+	p.Opts.DMTCandidates = tiles
+	p.Recipe = rec
+	p.tilings = tilings
+	p.progs = make(map[[3]int]*blockProg)
 	p.mu.Unlock()
+}
+
+// blockTiling returns the tiling the recipe assigns to a block shape.
+// The planner enumerated every distinct shape of the grid, so a miss is
+// a structural bug (or a foreign recipe), not a cue to re-plan.
+func (p *Plan) blockTiling(m, n int) (tiling.Tiling, error) {
+	p.mu.Lock()
+	tl, ok := p.tilings[[2]int{m, n}]
+	p.mu.Unlock()
+	if !ok {
+		return tiling.Tiling{}, fmt.Errorf("core: plan has no tiling for block %dx%d", m, n)
+	}
 	return tl, nil
 }
 

@@ -15,7 +15,7 @@ func (p *Plan) Describe() (string, error) {
 	fmt.Fprintf(&b, "  loop order %s (outermost to innermost)\n", p.Opts.Order)
 	fmt.Fprintf(&b, "  packing    %s\n", p.Opts.Pack)
 	fmt.Fprintf(&b, "  pipeline   rotate=%v fuse=%v\n", p.Opts.Rotate, p.Opts.Fuse)
-	fmt.Fprintf(&b, "  strategy   %s\n", p.Opts.Strategy.Name())
+	fmt.Fprintf(&b, "  strategy   %s\n", p.Recipe.Request.Tiler)
 
 	// Distinct block shapes in visit order.
 	seen := map[[2]int]bool{}

@@ -5,7 +5,6 @@ import (
 
 	"autogemm/internal/asm"
 	"autogemm/internal/cache"
-	"autogemm/internal/mkernel"
 	"autogemm/internal/sim"
 )
 
@@ -61,10 +60,7 @@ func (p *Plan) Estimate() (Estimate, error) {
 		for _, bd := range panelBands(tl, lanes) {
 			var cost float64
 			if p.Opts.Fuse && totalTiles(bd.segs) > 1 {
-				cfg := mkernel.BandConfig{
-					Segments: bd.segs, KC: key.kb, Lanes: lanes,
-					Rotate: p.Opts.Rotate, Fuse: true, LoadC: true, SigmaAI: chip.SigmaAI,
-				}
+				cfg := bandConfigFor(chip, p.Opts, bd.segs, key.kb)
 				c, err := p.bandCycles(bandCache, cfg.Name(), lat, func() (*simProg, error) {
 					prog, err := p.cache.Band(cfg)
 					if err != nil {
@@ -79,10 +75,7 @@ func (p *Plan) Estimate() (Estimate, error) {
 				blockLaunch += float64(chip.LaunchCycles)
 			} else {
 				for _, seg := range bd.segs {
-					cfg := mkernel.Config{
-						Tile: seg.Tile, KC: key.kb, Lanes: lanes,
-						Rotate: p.Opts.Rotate, LoadC: true, SigmaAI: chip.SigmaAI,
-					}
+					cfg := kernelConfigFor(chip, p.Opts, seg.Tile, key.kb)
 					c, err := p.bandCycles(bandCache, cfg.Name(), lat, func() (*simProg, error) {
 						prog, err := p.cache.Kernel(cfg)
 						if err != nil {
@@ -168,22 +161,11 @@ func (p *Plan) bandCycles(memo map[bandCostKey]float64, name string, lat int,
 	return c, nil
 }
 
-// blockLoadLatency derives the effective micro-kernel load latency from
-// where the block's streaming working set resides: the B panel plus one
-// A band and one C band. Without packing the strided panels occupy about
-// twice the footprint in cache lines and conflict more, modelled as a
-// doubled footprint (§IV-C: packing pays off once N is large).
+// blockLoadLatency derives the effective micro-kernel load latency for
+// a block visit; the planner records the same figure in the recipe (see
+// loadLatencyFor), the estimator keeps per-k-chunk resolution.
 func (p *Plan) blockLoadLatency(hier *cache.Hierarchy, mb, nb, kb int) int {
-	lanes := p.Chip.Lanes
-	nbQ := quantUp(nb, lanes)
-	panel := kb * nbQ * 4
-	if p.Opts.Pack == PackNone && p.N > nbQ {
-		// Strided panels occupy roughly double their size in cache lines
-		// and conflict more — but never more than the whole B matrix.
-		panel = min(2*panel, kb*quantUp(p.N, lanes)*4)
-	}
-	ws := panel + mkernel.MaxMR*kb*4 + mkernel.MaxMR*nbQ*4
-	return hier.LatencyOfLevel(hier.ResidencyLevel(ws))
+	return loadLatencyFor(p.Chip, hier, p.Opts.Pack, p.N, nb, kb)
 }
 
 // blockTrafficCost returns the packing cycles charged inside the timed

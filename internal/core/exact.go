@@ -120,10 +120,7 @@ func (p *Plan) timeBandExact(model *sim.Model, mach *sim.Machine, bd band, kc in
 	}
 
 	if p.Opts.Fuse && totalTiles(bd.segs) > 1 {
-		prog, err := p.cache.Band(mkernel.BandConfig{
-			Segments: bd.segs, KC: kc, Lanes: p.Chip.Lanes,
-			Rotate: p.Opts.Rotate, Fuse: true, LoadC: true, SigmaAI: p.Chip.SigmaAI,
-		})
+		prog, err := p.cache.Band(bandConfigFor(p.Chip, p.Opts, bd.segs, kc))
 		if err != nil {
 			return 0, err
 		}
@@ -133,10 +130,7 @@ func (p *Plan) timeBandExact(model *sim.Model, mach *sim.Machine, bd band, kc in
 	colOff := int64(0)
 	for _, seg := range bd.segs {
 		for i := 0; i < seg.Count; i++ {
-			prog, err := p.cache.Kernel(mkernel.Config{
-				Tile: seg.Tile, KC: kc, Lanes: p.Chip.Lanes,
-				Rotate: p.Opts.Rotate, LoadC: true, SigmaAI: p.Chip.SigmaAI,
-			})
+			prog, err := p.cache.Kernel(kernelConfigFor(p.Chip, p.Opts, seg.Tile, kc))
 			if err != nil {
 				return 0, err
 			}

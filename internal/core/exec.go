@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"autogemm/internal/mkernel"
@@ -97,6 +98,45 @@ type bandCall struct {
 	col int
 }
 
+// blockProg is the fully-resolved program of one block shape (MB, NB,
+// KB): its band decomposition and, when every kernel compiled, the
+// compiled call sequence. It is built once per shape — repeated block
+// visits (and repeated Run calls on a cached plan) skip straight to
+// kernel execution with no per-visit banding or cache lookups.
+type blockProg struct {
+	once       sync.Once
+	bands      []band
+	calls      []bandCall
+	compiledOK bool
+	err        error
+}
+
+// blockProgram returns the resolved program for a block's shape,
+// building it on first use. Concurrent workers hitting the same shape
+// share one build via the entry's sync.Once.
+func (p *Plan) blockProgram(blk blockIter) (*blockProg, error) {
+	key := [3]int{blk.MB, blk.NB, blk.KB}
+	p.mu.Lock()
+	bp, ok := p.progs[key]
+	if !ok {
+		bp = &blockProg{}
+		p.progs[key] = bp
+	}
+	p.mu.Unlock()
+	bp.once.Do(func() {
+		tl, err := p.blockTiling(blk.MB, blk.NB)
+		if err != nil {
+			bp.err = err
+			return
+		}
+		bp.bands = panelBands(tl, p.Chip.Lanes)
+		if !p.interpOnly {
+			bp.calls, bp.compiledOK = p.resolveCalls(bp.bands, blk.KB)
+		}
+	})
+	return bp, bp.err
+}
+
 // runBlock executes one cache block, choosing the cheapest proven path:
 //
 //  1. fully in place — compiled kernels address A, B and C directly in
@@ -106,20 +146,17 @@ type bandCall struct {
 //  4. checked interpreter over the per-worker arena, when any kernel of
 //     the block failed to compile or the plan forces interpretation.
 func (p *Plan) runBlock(st *execState, blk blockIter, c, a, b []float32) error {
-	tl, err := p.blockTiling(blk.MB, blk.NB)
+	bp, err := p.blockProgram(blk)
 	if err != nil {
 		return err
 	}
-	bands := panelBands(tl, p.Chip.Lanes)
-	if !p.interpOnly {
-		if calls, ok := p.resolveCalls(bands, blk.KB); ok {
-			done, err := p.runBlockCompiled(st, blk, bands, calls, c, a, b)
-			if done || err != nil {
-				return err
-			}
+	if !p.interpOnly && bp.compiledOK {
+		done, err := p.runBlockCompiled(st, blk, bp.bands, bp.calls, c, a, b)
+		if done || err != nil {
+			return err
 		}
 	}
-	return p.runBlockInterp(st, blk, bands, c, a, b)
+	return p.runBlockInterp(st, blk, bp.bands, c, a, b)
 }
 
 // resolveCalls lowers the block's bands to compiled kernel invocations.
@@ -129,10 +166,7 @@ func (p *Plan) runBlock(st *execState, blk blockIter, c, a, b []float32) error {
 func (p *Plan) resolveCalls(bands []band, kc int) (calls []bandCall, ok bool) {
 	for _, bd := range bands {
 		if p.Opts.Fuse && totalTiles(bd.segs) > 1 {
-			cp, err := p.cache.CompiledBand(mkernel.BandConfig{
-				Segments: bd.segs, KC: kc, Lanes: p.Chip.Lanes,
-				Rotate: p.Opts.Rotate, Fuse: true, LoadC: true, SigmaAI: p.Chip.SigmaAI,
-			})
+			cp, err := p.cache.CompiledBand(bandConfigFor(p.Chip, p.Opts, bd.segs, kc))
 			if err != nil {
 				return nil, false
 			}
@@ -141,10 +175,7 @@ func (p *Plan) resolveCalls(bands []band, kc int) (calls []bandCall, ok bool) {
 		}
 		col := bd.firstCol
 		for _, seg := range bd.segs {
-			cp, err := p.cache.CompiledKernel(mkernel.Config{
-				Tile: seg.Tile, KC: kc, Lanes: p.Chip.Lanes,
-				Rotate: p.Opts.Rotate, LoadC: true, SigmaAI: p.Chip.SigmaAI,
-			})
+			cp, err := p.cache.CompiledKernel(kernelConfigFor(p.Chip, p.Opts, seg.Tile, kc))
 			if err != nil {
 				return nil, false
 			}
@@ -318,10 +349,7 @@ func (p *Plan) runBlockInterp(st *execState, blk blockIter, bands []band, c, a, 
 func (p *Plan) runBandInterp(st *execState, bd band, kc int, aArg, bArg, cArg int64, lda, ldb, ldc int) error {
 	mach := st.mach
 	if p.Opts.Fuse && totalTiles(bd.segs) > 1 {
-		prog, err := p.cache.Band(mkernel.BandConfig{
-			Segments: bd.segs, KC: kc, Lanes: p.Chip.Lanes,
-			Rotate: p.Opts.Rotate, Fuse: true, LoadC: true, SigmaAI: p.Chip.SigmaAI,
-		})
+		prog, err := p.cache.Band(bandConfigFor(p.Chip, p.Opts, bd.segs, kc))
 		if err != nil {
 			return err
 		}
@@ -336,10 +364,7 @@ func (p *Plan) runBandInterp(st *execState, bd band, kc int, aArg, bArg, cArg in
 	colOff := int64(0)
 	for _, seg := range bd.segs {
 		for i := 0; i < seg.Count; i++ {
-			prog, err := p.cache.Kernel(mkernel.Config{
-				Tile: seg.Tile, KC: kc, Lanes: p.Chip.Lanes,
-				Rotate: p.Opts.Rotate, LoadC: true, SigmaAI: p.Chip.SigmaAI,
-			})
+			prog, err := p.cache.Kernel(kernelConfigFor(p.Chip, p.Opts, seg.Tile, kc))
 			if err != nil {
 				return err
 			}

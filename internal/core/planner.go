@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"autogemm/internal/cache"
+	"autogemm/internal/hw"
+	"autogemm/internal/mkernel"
+	"autogemm/internal/perfmodel"
+	"autogemm/internal/plan"
+	"autogemm/internal/tiling"
+)
+
+// This file is the plan *producer*: everything expensive and
+// shape-specific — automatic blocking resolution, the residency-aware
+// Dynamic Micro-Tiling of every distinct cache block, the kernel-key
+// enumeration and the Eqn-13 cost projection — happens here, once, and
+// is captured in an immutable plan.Plan. The executor (core.go,
+// exec.go) replays plans without re-deriving any of it.
+
+// OrderFromString parses a loop order name ("MNK", "knm", ...).
+func OrderFromString(s string) (LoopOrder, error) {
+	for _, o := range AllLoopOrders() {
+		if strings.EqualFold(o.String(), s) {
+			return o, nil
+		}
+	}
+	return OrderMNK, fmt.Errorf("core: unknown loop order %q", s)
+}
+
+// PackFromString parses a packing mode name, including "auto".
+func PackFromString(s string) (PackMode, error) {
+	for _, p := range []PackMode{PackNone, PackOnline, PackOffline, PackAuto} {
+		if strings.EqualFold(p.String(), s) {
+			return p, nil
+		}
+	}
+	return PackAuto, fmt.Errorf("core: unknown packing mode %q", s)
+}
+
+// strategyName reports the tiler a set of options selects.
+func strategyName(o Options) string {
+	if o.Strategy == nil {
+		return (&tiling.DMT{}).Name()
+	}
+	return o.Strategy.Name()
+}
+
+// RequestOf converts planning inputs into the serializable request the
+// fingerprint is computed over — the options exactly as given, before
+// any automatic resolution, so identical requests always map to the
+// same plan-cache and registry key.
+func RequestOf(chip *hw.Chip, m, n, k int, opts Options) plan.Request {
+	req := plan.Request{
+		Chip: chip.Name, M: m, N: n, K: k,
+		MC: opts.MC, NC: opts.NC, KC: opts.KC,
+		Order: opts.Order.String(), Pack: opts.Pack.String(),
+		Rotate: opts.Rotate, Fuse: opts.Fuse,
+		Cores: opts.Cores, Over: opts.CallOverhead, KCisK: opts.ForceKCisK,
+		Tiler: strategyName(opts),
+	}
+	for _, t := range opts.DMTCandidates {
+		req.Cands = append(req.Cands, t.String())
+	}
+	return req
+}
+
+// Fingerprint returns the plan-cache key for a problem and option set.
+func Fingerprint(chip *hw.Chip, m, n, k int, opts Options) string {
+	return RequestOf(chip, m, n, k, opts).Fingerprint()
+}
+
+// resolveOptions applies the automatic parameter choices: packing by
+// problem size (§IV-C2) and Goto-layered blocking. It returns a copy;
+// the caller's options are not mutated.
+func resolveOptions(chip *hw.Chip, m, n, k int, opts Options) Options {
+	o := opts
+	if o.Pack == PackAuto {
+		// Skip packing when the whole B matrix fits L1 alongside the A
+		// and C bands; otherwise pack online.
+		if k*quantUp(n, chip.Lanes)*4 <= chip.L1D.SizeBytes*3/4 {
+			o.Pack = PackNone
+		} else {
+			o.Pack = PackOnline
+		}
+	}
+	resolveBlocking(chip, m, n, k, &o)
+	return o
+}
+
+// resolveBlocking picks m_c, n_c, k_c when unset: k_c sized so a B panel
+// (k_c × n_c) plus the A band fits L1 (Eqn 1's residency assumption),
+// m_c so the A block fits L2, following Goto's layering.
+func resolveBlocking(chip *hw.Chip, m, n, k int, o *Options) {
+	lanes := chip.Lanes
+	if o.ForceKCisK {
+		o.KC = k
+	}
+	if o.KC <= 0 {
+		// Half of L1 for the B panel at the default n_c target.
+		target := chip.L1D.SizeBytes / 2 / 4 / 64 // elements of k per 64-wide panel
+		o.KC = clamp(target, lanes, 256)
+		if o.KC > k {
+			o.KC = k
+		}
+	}
+	if o.NC <= 0 {
+		nc := (chip.L1D.SizeBytes / 2 / 4) / max(o.KC, 1)
+		nc = nc / lanes * lanes
+		o.NC = clamp(nc, lanes, 512)
+		if o.NC > n {
+			o.NC = quantUp(n, lanes)
+		}
+	}
+	if o.MC <= 0 {
+		mc := (chip.L2.SizeBytes / 2 / 4) / max(o.KC, 1)
+		o.MC = clamp(mc, 4, 256)
+		if o.MC > m {
+			o.MC = m
+		}
+	}
+}
+
+// blockShapes returns the distinct block extents of a dimension: the
+// full block size and the remainder, if any.
+func blockShapes(total, bs int) []int {
+	if bs >= total {
+		return []int{total}
+	}
+	out := []int{bs}
+	if rem := total % bs; rem > 0 {
+		out = append(out, rem)
+	}
+	return out
+}
+
+// tilerFor returns the strategy instance planning uses, applying the
+// residency-derived load latency and any candidate restriction when the
+// strategy is DMT (default or explicit).
+func tilerFor(opts Options, params perfmodel.Params, lat int) tiling.Strategy {
+	popt := perfmodel.Opt{Rotate: opts.Rotate, Fuse: opts.Fuse}
+	base, isDMT := opts.Strategy.(*tiling.DMT)
+	if opts.Strategy == nil {
+		base, isDMT = &tiling.DMT{Params: params, Opt: popt}, true
+	}
+	if !isDMT {
+		return opts.Strategy
+	}
+	d := &tiling.DMT{
+		Params:     base.Params.WithLoadLatency(float64(lat)),
+		Opt:        base.Opt,
+		Candidates: base.Candidates,
+	}
+	if d.Params.Lanes == 0 { // zero-value DMT: inherit chip params
+		d.Params = params.WithLoadLatency(float64(lat))
+		d.Opt = popt
+	}
+	if opts.DMTCandidates != nil {
+		d.Candidates = opts.DMTCandidates
+	}
+	return d
+}
+
+// loadLatencyFor derives the effective micro-kernel load latency from
+// where the block's streaming working set resides: the B panel plus one
+// A band and one C band. Without packing the strided panels occupy about
+// twice the footprint in cache lines and conflict more, modelled as a
+// doubled footprint (§IV-C: packing pays off once N is large).
+func loadLatencyFor(chip *hw.Chip, hier *cache.Hierarchy, pack PackMode, nTotal, nb, kb int) int {
+	lanes := chip.Lanes
+	nbQ := quantUp(nb, lanes)
+	panel := kb * nbQ * 4
+	if pack == PackNone && nTotal > nbQ {
+		// Strided panels occupy roughly double their size in cache lines
+		// and conflict more — but never more than the whole B matrix.
+		panel = min(2*panel, kb*quantUp(nTotal, lanes)*4)
+	}
+	ws := panel + mkernel.MaxMR*kb*4 + mkernel.MaxMR*nbQ*4
+	return hier.LatencyOfLevel(hier.ResidencyLevel(ws))
+}
+
+// Produce plans a problem from scratch and returns the immutable,
+// serializable recipe: resolved blocking, the tiling of every distinct
+// block shape (each tiled at the load latency its residency implies),
+// the kernel keys execution will request, and the Eqn-13 projected
+// cost. Produce never touches the simulator — it is the cheap analytic
+// half of planning; the tuner's search sits on top of it.
+func Produce(chip *hw.Chip, m, n, k int, opts Options) (*plan.Plan, error) {
+	if chip == nil {
+		return nil, fmt.Errorf("core: nil chip")
+	}
+	if m <= 0 || n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("core: invalid problem %dx%dx%d", m, n, k)
+	}
+	req := RequestOf(chip, m, n, k, opts)
+	o := resolveOptions(chip, m, n, k, opts)
+	params := perfmodel.FromChip(chip)
+	hier := cache.NewHierarchy(chip)
+	popt := perfmodel.Opt{Rotate: o.Rotate, Fuse: o.Fuse}
+
+	rec := &plan.Plan{
+		Format:      plan.FormatVersion,
+		Fingerprint: req.Fingerprint(),
+		Request:     req,
+		MC:          o.MC, NC: o.NC, KC: o.KC,
+		Order:  o.Order.String(),
+		Pack:   o.Pack.String(),
+		Source: plan.SourceAuto,
+	}
+
+	kcTile := min(o.KC, k)
+	mShapes := blockShapes(m, o.MC)
+	nShapes := blockShapes(n, o.NC)
+	kShapes := blockShapes(k, o.KC)
+
+	keys := map[mkernel.Key]bool{}
+	tilings := make(map[[2]int]tiling.Tiling)
+	for _, mb := range mShapes {
+		for _, nb := range nShapes {
+			lat := loadLatencyFor(chip, hier, o.Pack, n, nb, kcTile)
+			strat := tilerFor(o, params, lat)
+			tl, err := strat.Tile(mb, nb, kcTile)
+			if err != nil {
+				return nil, err
+			}
+			if err := tl.Validate(chip.Lanes); err != nil {
+				return nil, fmt.Errorf("core: strategy %s: %w", strat.Name(), err)
+			}
+			tilings[[2]int{mb, nb}] = tl
+			blk := tl.ToPlanBlock()
+			blk.LoadLatency = lat
+			blk.Cost = tl.Cost(params.WithLoadLatency(float64(lat)), kcTile, popt)
+			rec.Blocks = append(rec.Blocks, blk)
+
+			// Kernel keys for every k-chunk depth this block executes at.
+			for _, kb := range kShapes {
+				for _, bd := range panelBands(tl, chip.Lanes) {
+					if o.Fuse && totalTiles(bd.segs) > 1 {
+						keys[bandConfigFor(chip, o, bd.segs, kb).Key()] = true
+						continue
+					}
+					for _, seg := range bd.segs {
+						keys[kernelConfigFor(chip, o, seg.Tile, kb).Key()] = true
+					}
+				}
+			}
+		}
+	}
+
+	for key := range keys {
+		rec.KernelKeys = append(rec.KernelKeys, string(key))
+	}
+	sort.Strings(rec.KernelKeys)
+
+	// Projected cost composed over the block grid: the per-visit Eqn-13
+	// cost of each (m, n) block shape times its visit count across the
+	// k chunks — the analytic figure the tuner prunes with.
+	kChunks := (k + o.KC - 1) / o.KC
+	for _, mb := range mShapes {
+		for _, nb := range nShapes {
+			mCnt := gridCount(m, o.MC, mb)
+			nCnt := gridCount(n, o.NC, nb)
+			rec.ModelCycles += rec.Blocks[blockIndex(rec, mb, nb)].Cost *
+				float64(mCnt*nCnt*kChunks)
+		}
+	}
+	return rec, nil
+}
+
+// gridCount returns how many blocks of extent size a dimension of the
+// grid contains.
+func gridCount(total, bs, size int) int {
+	if bs >= total {
+		return 1
+	}
+	if size == bs {
+		return total / bs
+	}
+	return 1 // remainder block
+}
+
+func blockIndex(rec *plan.Plan, mb, nb int) int {
+	for i := range rec.Blocks {
+		if rec.Blocks[i].M == mb && rec.Blocks[i].N == nb {
+			return i
+		}
+	}
+	return 0
+}
+
+// bandConfigFor builds the fused band-kernel configuration for a band
+// at a given k-chunk depth — the single construction point shared by
+// the planner (kernel keys), the executor and the estimator, so plan
+// keys and cache keys cannot drift apart.
+func bandConfigFor(chip *hw.Chip, o Options, segs []mkernel.Segment, kb int) mkernel.BandConfig {
+	return mkernel.BandConfig{
+		Segments: segs, KC: kb, Lanes: chip.Lanes,
+		Rotate: o.Rotate, Fuse: true, LoadC: true, SigmaAI: chip.SigmaAI,
+	}
+}
+
+// kernelConfigFor builds the single-tile kernel configuration for one
+// tile at a given k-chunk depth.
+func kernelConfigFor(chip *hw.Chip, o Options, t mkernel.Tile, kb int) mkernel.Config {
+	return mkernel.Config{
+		Tile: t, KC: kb, Lanes: chip.Lanes,
+		Rotate: o.Rotate, LoadC: true, SigmaAI: chip.SigmaAI,
+	}
+}
+
+// Attach binds an executor to a produced (or deserialized) recipe. The
+// recipe must validate and belong to the chip; its tilings are
+// reconstructed and re-validated against the lane width, so a corrupt
+// or stale registry entry is rejected here and the caller falls back to
+// fresh planning. runtime carries only the non-serializable toggles
+// (ForceInterp, a custom Strategy for later re-planning).
+func Attach(chip *hw.Chip, rec *plan.Plan, runtime Options) (*Plan, error) {
+	if chip == nil {
+		return nil, fmt.Errorf("core: nil chip")
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	if rec.Request.Chip != chip.Name {
+		return nil, fmt.Errorf("core: plan for chip %s attached to %s", rec.Request.Chip, chip.Name)
+	}
+	order, err := OrderFromString(rec.Order)
+	if err != nil {
+		return nil, err
+	}
+	pack, err := PackFromString(rec.Pack)
+	if err != nil {
+		return nil, err
+	}
+	if pack == PackAuto {
+		return nil, fmt.Errorf("core: plan has unresolved packing mode")
+	}
+
+	o := runtime
+	o.MC, o.NC, o.KC = rec.MC, rec.NC, rec.KC
+	o.Order, o.Pack = order, pack
+	o.Rotate, o.Fuse = rec.Request.Rotate, rec.Request.Fuse
+	o.Cores = rec.Request.Cores
+	o.CallOverhead = rec.Request.Over
+	o.ForceKCisK = rec.Request.KCisK
+
+	p := &Plan{
+		Chip: chip, M: rec.Request.M, N: rec.Request.N, K: rec.Request.K,
+		Opts:    o,
+		Recipe:  rec,
+		params:  perfmodel.FromChip(chip),
+		tilings: make(map[[2]int]tiling.Tiling, len(rec.Blocks)),
+		progs:   make(map[[3]int]*blockProg),
+		cache:   mkernel.NewCache(),
+	}
+	for _, blk := range rec.Blocks {
+		tl := tiling.FromPlanBlock(blk)
+		if err := tl.Validate(chip.Lanes); err != nil {
+			return nil, fmt.Errorf("core: plan block %dx%d: %w", blk.M, blk.N, err)
+		}
+		p.tilings[[2]int{blk.M, blk.N}] = tl
+	}
+	// Every block shape of the grid must be covered by the recipe.
+	for _, mb := range blockShapes(p.M, o.MC) {
+		for _, nb := range blockShapes(p.N, o.NC) {
+			if _, ok := p.tilings[[2]int{mb, nb}]; !ok {
+				return nil, fmt.Errorf("core: plan missing tiling for block %dx%d", mb, nb)
+			}
+		}
+	}
+	p.interpOnly = o.ForceInterp || os.Getenv("AUTOGEMM_INTERP") == "1"
+	p.pool.New = func() any { return p.newState() }
+	return p, nil
+}

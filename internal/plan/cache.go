@@ -1,0 +1,129 @@
+package plan
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// nShards spreads the cache's lock across independent shards so a
+// many-core server hammering mixed shapes does not serialize on one
+// mutex. 16 is plenty: the critical section is a map lookup.
+const nShards = 16
+
+// Stats is a snapshot of cache traffic. Built counts executions of the
+// build function — the singleflight guarantee is Built == number of
+// distinct keys ever requested, regardless of concurrency.
+type Stats struct {
+	Hits   int64 // found ready (or joined an in-flight build)
+	Misses int64 // initiated a build
+	Built  int64 // build functions actually run
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any traffic.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a sharded, singleflight-deduplicated memoization table keyed
+// by plan fingerprint. Concurrent Get calls for the same key run the
+// build function exactly once; the losers block until it completes and
+// share the result. Both successful values and build errors are
+// memoized — planning is deterministic, so a failed build would fail
+// identically on retry.
+type Cache[V any] struct {
+	seed   maphash.Seed
+	shards [nShards]cacheShard[V]
+	hits   atomic.Int64
+	misses atomic.Int64
+	built  atomic.Int64
+}
+
+type cacheShard[V any] struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache[V any]() *Cache[V] {
+	c := &Cache[V]{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*cacheEntry[V])
+	}
+	return c
+}
+
+func (c *Cache[V]) shard(key string) *cacheShard[V] {
+	return &c.shards[maphash.String(c.seed, key)%nShards]
+}
+
+// Get returns the cached value for key, building it with build on first
+// request. Exactly one goroutine builds per key; the rest wait.
+func (c *Cache[V]) Get(key string, build func() (V, error)) (V, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		c.hits.Add(1)
+		<-e.done
+		return e.val, e.err
+	}
+	e := &cacheEntry[V]{done: make(chan struct{})}
+	s.m[key] = e
+	s.mu.Unlock()
+
+	c.misses.Add(1)
+	c.built.Add(1)
+	e.val, e.err = build()
+	close(e.done)
+	return e.val, e.err
+}
+
+// Lookup returns the completed value for key without building. ok is
+// false when the key is absent, still building, or failed to build.
+func (c *Cache[V]) Lookup(key string) (V, bool) {
+	var zero V
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	s.mu.Unlock()
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return zero, false
+	}
+	if e.err != nil {
+		return zero, false
+	}
+	return e.val, true
+}
+
+// Len reports how many keys the cache holds (including in-flight and
+// failed builds).
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Built: c.built.Load()}
+}

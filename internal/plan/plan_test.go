@@ -1,0 +1,241 @@
+package plan
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testPlan(chip string, m, n, k int) *Plan {
+	req := Request{
+		Chip: chip, M: m, N: n, K: k,
+		Order: "MNK", Pack: "auto", Rotate: true, Fuse: true, Tiler: "dmt",
+	}
+	return &Plan{
+		Format:      FormatVersion,
+		Fingerprint: req.Fingerprint(),
+		Request:     req,
+		MC:          64, NC: 64, KC: 48,
+		Order: "MNK", Pack: "none",
+		Blocks: []Block{{
+			M: m, N: n, LoadLatency: 4, Cost: 1000, Tiler: "dmt",
+			Panels: []Panel{{M: m, N: n, MR: 8, NR: 8}},
+		}},
+		KernelKeys:  []string{"mk_8x8x48_l4_rot"},
+		ModelCycles: 1000,
+		Source:      SourceAuto,
+	}
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	base := Request{Chip: "KP920", M: 64, N: 64, K: 48, Order: "MNK", Pack: "auto",
+		Rotate: true, Fuse: true, Tiler: "dmt"}
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	variants := map[string]Request{}
+	r := base
+	r.Chip = "Graviton2"
+	variants["chip"] = r
+	r = base
+	r.M = 65
+	variants["m"] = r
+	r = base
+	r.KC = 32
+	variants["kc"] = r
+	r = base
+	r.Order = "KNM"
+	variants["order"] = r
+	r = base
+	r.Pack = "online"
+	variants["pack"] = r
+	r = base
+	r.Rotate = false
+	variants["rotate"] = r
+	r = base
+	r.Cands = []string{"8x8"}
+	variants["cands"] = r
+	for name, v := range variants {
+		fp := v.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("variant %q collides with %q", name, prev)
+		}
+		seen[fp] = name
+	}
+	// Candidate order must not matter.
+	a, b := base, base
+	a.Cands = []string{"8x8", "6x12"}
+	b.Cands = []string{"6x12", "8x8"}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("candidate order changed the fingerprint")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := testPlan("KP920", 64, 64, 48)
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != p.Fingerprint || got.MC != p.MC || len(got.Blocks) != 1 {
+		t.Fatalf("round trip mutated the plan: %+v", got)
+	}
+	if got.Blocks[0].Panels[0].MR != 8 {
+		t.Fatal("panel lost in round trip")
+	}
+}
+
+func TestDecodeRejectsTampering(t *testing.T) {
+	p := testPlan("KP920", 64, 64, 48)
+
+	// Wrong format version.
+	bad := *p
+	bad.Format = FormatVersion + 1
+	if _, err := bad.Encode(); err == nil {
+		t.Error("Encode accepted a wrong format version")
+	}
+
+	// Request no longer matching the fingerprint (stale registry entry):
+	// corrupt the stored K in the JSON payload.
+	raw, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(string(raw), `"k": 48`, `"k": 47`, 1)
+	if corrupted == string(raw) {
+		t.Fatal("corruption did not apply")
+	}
+	if _, err := Decode([]byte(corrupted)); err == nil {
+		t.Error("Decode accepted a plan whose request was tampered with")
+	}
+}
+
+func TestCheckRequest(t *testing.T) {
+	p := testPlan("KP920", 64, 64, 48)
+	if err := p.CheckRequest(p.Request); err != nil {
+		t.Fatalf("matching request rejected: %v", err)
+	}
+	other := p.Request
+	other.Chip = "Graviton2"
+	if err := p.CheckRequest(other); err == nil {
+		t.Error("wrong-chip request accepted")
+	}
+	other = p.Request
+	other.KC = 32
+	if err := p.CheckRequest(other); err == nil {
+		t.Error("different-options request accepted")
+	}
+}
+
+func TestRegistryStoreLoadList(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "plans")
+	reg := NewRegistry(dir)
+
+	if _, err := reg.Load(testPlan("KP920", 64, 64, 48).Fingerprint); err == nil {
+		t.Fatal("Load from empty registry succeeded")
+	}
+	var fps []string
+	for _, shape := range [][3]int{{64, 64, 48}, {8, 1000, 32}} {
+		p := testPlan("KP920", shape[0], shape[1], shape[2])
+		if err := reg.Store(p); err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, p.Fingerprint)
+	}
+	got, err := reg.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("List returned %d entries, want 2", len(got))
+	}
+	for _, fp := range fps {
+		p, err := reg.Load(fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Fingerprint != fp {
+			t.Fatalf("loaded wrong plan %s for %s", p.Fingerprint, fp)
+		}
+	}
+	// Idempotent re-store.
+	if err := reg.Store(testPlan("KP920", 64, 64, 48)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("../escape"); err == nil {
+		t.Error("path traversal fingerprint accepted")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache[int]()
+	const (
+		keys       = 8
+		goroutines = 64
+	)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("key-%d", (g+i)%keys)
+				v, err := c.Get(key, func() (int, error) {
+					builds.Add(1)
+					return len(key), nil
+				})
+				if err != nil || v != len(key) {
+					t.Errorf("Get(%s) = %d, %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if got := builds.Load(); got != keys {
+		t.Fatalf("build ran %d times for %d keys", got, keys)
+	}
+	st := c.Stats()
+	if st.Built != keys {
+		t.Fatalf("Stats.Built = %d, want %d", st.Built, keys)
+	}
+	if st.Hits+st.Misses != goroutines*50 {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, goroutines*50)
+	}
+	if c.Len() != keys {
+		t.Fatalf("Len = %d, want %d", c.Len(), keys)
+	}
+	if _, ok := c.Lookup("key-0"); !ok {
+		t.Fatal("Lookup missed a built key")
+	}
+	if _, ok := c.Lookup("absent"); ok {
+		t.Fatal("Lookup fabricated a value")
+	}
+}
+
+func TestCacheMemoizesErrors(t *testing.T) {
+	c := NewCache[int]()
+	calls := 0
+	build := func() (int, error) { calls++; return 0, fmt.Errorf("boom") }
+	if _, err := c.Get("bad", build); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if _, err := c.Get("bad", build); err == nil {
+		t.Fatal("memoized error lost")
+	}
+	if calls != 1 {
+		t.Fatalf("build retried %d times", calls)
+	}
+}

@@ -1,0 +1,33 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Encode serializes the plan as indented JSON — the registry file
+// format and the payload of Engine.PlanFor(...).Serialize.
+func (p *Plan) Encode() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Decode parses a serialized plan and validates its integrity. Plans
+// from a different format version, or whose fingerprint no longer
+// matches their stored request, are rejected — the caller re-plans.
+func Decode(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("plan: decode: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

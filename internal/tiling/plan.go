@@ -1,0 +1,40 @@
+package tiling
+
+import (
+	"autogemm/internal/mkernel"
+	"autogemm/internal/plan"
+)
+
+// This file makes the tilers plan *producers*: a computed Tiling
+// converts losslessly into the serializable plan form and back, so the
+// Algorithm-1 panel splits survive process exits instead of being
+// re-derived per call.
+
+// ToPlanBlock serializes the tiling as a plan block. LoadLatency and
+// Cost are recorded by the planner, which knows the residency model the
+// tiler was parameterized with.
+func (tl Tiling) ToPlanBlock() plan.Block {
+	b := plan.Block{M: tl.MC, N: tl.NC, Tiler: tl.Strategy}
+	for _, p := range tl.Panels {
+		b.Panels = append(b.Panels, plan.Panel{
+			Row: p.Row, Col: p.Col, M: p.M, N: p.N,
+			MR: p.Tile.MR, NR: p.Tile.NR, Padded: p.Padded,
+		})
+	}
+	return b
+}
+
+// FromPlanBlock reconstructs a Tiling from its serialized form. The
+// caller must still Validate the result against the lane width — a
+// corrupted or hand-edited registry entry fails there, not here.
+func FromPlanBlock(b plan.Block) Tiling {
+	tl := Tiling{MC: b.M, NC: b.N, Strategy: b.Tiler}
+	for _, p := range b.Panels {
+		tl.Panels = append(tl.Panels, Panel{
+			Row: p.Row, Col: p.Col, M: p.M, N: p.N,
+			Tile:   mkernel.Tile{MR: p.MR, NR: p.NR},
+			Padded: p.Padded,
+		})
+	}
+	return tl
+}

@@ -19,6 +19,7 @@ import (
 	"autogemm/internal/core"
 	"autogemm/internal/hw"
 	"autogemm/internal/perfmodel"
+	"autogemm/internal/plan"
 	"autogemm/internal/tiling"
 )
 
@@ -154,6 +155,23 @@ func Tune(cfg Config) (Result, error) {
 	sort.SliceStable(res.Records, func(i, j int) bool { return res.Records[i].Cycles < res.Records[j].Cycles })
 	res.Estimate = bestEst
 	return res, nil
+}
+
+// TunePlan runs Tune and materializes the winner as a serializable
+// execution plan (Source = "tuner"), ready for an engine's plan cache
+// or an on-disk registry: the tuner is a plan producer, the engine a
+// plan consumer, and this function is the seam between them.
+func TunePlan(cfg Config) (*plan.Plan, Result, error) {
+	res, err := Tune(cfg)
+	if err != nil {
+		return nil, res, err
+	}
+	rec, err := core.Produce(cfg.Chip, cfg.M, cfg.N, cfg.K, res.Best.Options())
+	if err != nil {
+		return nil, res, err
+	}
+	rec.Source = plan.SourceTuner
+	return rec, res, nil
 }
 
 // enumerate builds the candidate grid: block extents from the divisor

@@ -1,0 +1,145 @@
+package autogemm
+
+import (
+	"fmt"
+
+	"autogemm/internal/core"
+	"autogemm/internal/plan"
+)
+
+// This file is the public face of the plan layer: explicit plan
+// handles (PlanFor / MultiplyPlanned), plan serialization (Encode /
+// LoadPlan / SavePlan) and the engine's plan-cache plumbing. The
+// lifecycle is produce → fingerprint → cache → persist → warm-start →
+// execute; see docs/INTERNALS.md, "Plan lifecycle".
+
+// Plan is a resolved, reusable execution plan bound to one engine's
+// chip: the serializable recipe (blocking, loop order, packing, panel
+// splits, kernel keys) plus the attached executor with its generated
+// kernels. Plans are safe for concurrent use and cheap to reuse —
+// executing one performs no planning work.
+type Plan struct {
+	eng *Engine
+	p   *core.Plan
+}
+
+// Fingerprint returns the plan's cache key: a stable hash of the chip,
+// problem shape, options and plan-format version.
+func (p *Plan) Fingerprint() string { return p.p.Recipe.Fingerprint }
+
+// Shape returns the problem extents the plan was produced for.
+func (p *Plan) Shape() (m, n, k int) { return p.p.M, p.p.N, p.p.K }
+
+// Source reports where the plan came from: "auto" (model-default
+// planning) or "tuner" (winner of a tuning search).
+func (p *Plan) Source() string { return p.p.Recipe.Source }
+
+// ModelCycles returns the analytic model's projected cycles for one
+// execution of the plan.
+func (p *Plan) ModelCycles() float64 { return p.p.Recipe.ModelCycles }
+
+// Encode serializes the plan's recipe as JSON. The executor state
+// (generated kernels, scratch buffers) is not serialized; LoadPlan
+// rebuilds it on attach.
+func (p *Plan) Encode() ([]byte, error) { return p.p.Recipe.Encode() }
+
+// Describe renders the plan as a human-readable report.
+func (p *Plan) Describe() (string, error) { return p.p.Describe() }
+
+// PlanFor resolves (or retrieves from the cache) the execution plan for
+// a problem without running it. Use MultiplyPlanned to execute it, or
+// Encode / SavePlan to persist it.
+func (e *Engine) PlanFor(opts *Options, m, n, k int) (*Plan, error) {
+	cp, err := e.plan(opts, m, n, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{eng: e, p: cp}, nil
+}
+
+// MultiplyPlanned computes C += A·B executing an explicit plan — the
+// zero-planning hot path for serving workloads that multiply the same
+// shape many times. The plan must have been produced by (or loaded
+// into) an engine for the same chip.
+func (e *Engine) MultiplyPlanned(p *Plan, c, a, b []float32) error {
+	if p == nil || p.p == nil {
+		return fmt.Errorf("autogemm: nil plan")
+	}
+	if p.p.Chip.Name != e.chip.Name {
+		return fmt.Errorf("autogemm: plan for chip %s used on %s", p.p.Chip.Name, e.chip.Name)
+	}
+	return p.p.Run(c, a, b)
+}
+
+// LoadPlan deserializes a plan produced by Encode (or read from a
+// registry file) and attaches it to this engine, entering it into the
+// plan cache under its fingerprint. A plan for a different chip, an
+// older format version, or with corrupted contents is rejected.
+func (e *Engine) LoadPlan(data []byte) (*Plan, error) {
+	rec, err := plan.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := e.plans.Get(rec.Fingerprint, func() (*core.Plan, error) {
+		return core.Attach(e.chip, rec, core.Options{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{eng: e, p: cp}, nil
+}
+
+// SavePlan persists a plan into the engine's on-disk registry
+// (WithPlanDir or AUTOGEMM_PLAN_DIR). It fails when no plan directory
+// is configured.
+func (e *Engine) SavePlan(p *Plan) error {
+	if p == nil || p.p == nil {
+		return fmt.Errorf("autogemm: nil plan")
+	}
+	if e.registry == nil {
+		return fmt.Errorf("autogemm: no plan directory configured (WithPlanDir or AUTOGEMM_PLAN_DIR)")
+	}
+	return e.registry.Store(p.p.Recipe)
+}
+
+// PlanCacheStats is a snapshot of the engine's plan-cache traffic.
+// Built counts plan constructions (including registry warm-starts):
+// under concurrent load it equals the number of distinct fingerprints
+// requested — the singleflight guarantee.
+type PlanCacheStats struct {
+	Hits    int64
+	Misses  int64
+	Built   int64
+	HitRate float64
+}
+
+// PlanCacheStats returns the engine's plan-cache counters.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	s := e.plans.Stats()
+	return PlanCacheStats{Hits: s.Hits, Misses: s.Misses, Built: s.Built, HitRate: s.HitRate()}
+}
+
+// planResolved serves the executor for resolved core options from the
+// plan cache: on a miss it first tries the on-disk registry (a stale or
+// mismatched entry falls through to fresh planning), then produces and
+// attaches a fresh plan. Concurrent misses on one fingerprint plan
+// exactly once.
+func (e *Engine) planResolved(co core.Options, m, n, k int) (*core.Plan, error) {
+	req := core.RequestOf(e.chip, m, n, k, co)
+	return e.plans.Get(req.Fingerprint(), func() (*core.Plan, error) {
+		if e.registry != nil {
+			if rec, err := e.registry.Load(req.Fingerprint()); err == nil {
+				if rec.CheckRequest(req) == nil {
+					if p, err := core.Attach(e.chip, rec, co); err == nil {
+						return p, nil
+					}
+				}
+			}
+		}
+		rec, err := core.Produce(e.chip, m, n, k, co)
+		if err != nil {
+			return nil, err
+		}
+		return core.Attach(e.chip, rec, co)
+	})
+}
