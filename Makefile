@@ -36,11 +36,13 @@ lint:
 	done
 
 # bench measures the execution engine on the ResNet-50 shapes —
-# interpreted vs compiled backend — and writes BENCH_$(BENCH_TAG).json.
+# interpreted vs compiled backend, plus batch throughput across
+# scheduler worker counts — and writes BENCH_$(BENCH_TAG).json.
 BENCH_TAG ?= local
+BENCH_WORKERS ?= 1,2,4
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/compile/
-	$(GO) run ./cmd/autogemm-bench -json -tag $(BENCH_TAG)
+	$(GO) run ./cmd/autogemm-bench -json -tag $(BENCH_TAG) -workers $(BENCH_WORKERS)
 
 # bench-smoke is the fast CI variant: two layers, short measurements.
 bench-smoke:

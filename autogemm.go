@@ -34,6 +34,7 @@ import (
 	"autogemm/internal/hw"
 	"autogemm/internal/mkernel"
 	"autogemm/internal/plan"
+	"autogemm/internal/sched"
 	"autogemm/internal/tuner"
 )
 
@@ -96,10 +97,19 @@ type Perf struct {
 // plan directory configured (WithPlanDir or AUTOGEMM_PLAN_DIR), cache
 // misses first try to warm-start from the on-disk registry before
 // planning from scratch.
+//
+// Every execution — Multiply, RunParallel through a plan handle,
+// MultiplyBatch, Submit — runs on the engine's persistent scheduler
+// runtime (internal/sched): a worker pool sized by WithWorkers with a
+// bounded job queue sized by WithQueueDepth. Close stops it; see
+// docs/INTERNALS.md, "Runtime & scheduling".
 type Engine struct {
 	chip     *hw.Chip
 	plans    *plan.Cache[*core.Plan]
 	registry *plan.Registry
+	sched    *sched.Pool
+
+	workers, depth int // construction-time pool configuration
 }
 
 // EngineOption configures an Engine at construction.
@@ -119,6 +129,22 @@ func WithPlanDir(dir string) EngineOption {
 	}
 }
 
+// WithWorkers sets the engine's scheduler worker count (default
+// GOMAXPROCS). It bounds the parallelism of a single large GEMM and
+// the inter-job parallelism of batches.
+func WithWorkers(n int) EngineOption {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithQueueDepth bounds the number of jobs in flight — submitted but
+// not yet completed — on the engine's scheduler (default
+// max(64, 4·workers)). At the bound, Multiply/MultiplyBatch/Submit
+// block until a job completes: backpressure propagates to producers
+// instead of growing an unbounded queue.
+func WithQueueDepth(n int) EngineOption {
+	return func(e *Engine) { e.depth = n }
+}
+
 // New returns an engine for the named chip (see Chips).
 func New(chipName string, opts ...EngineOption) (*Engine, error) {
 	chip, err := hw.ByName(chipName)
@@ -132,8 +158,17 @@ func New(chipName string, opts ...EngineOption) (*Engine, error) {
 	for _, o := range opts {
 		o(e)
 	}
+	e.sched = sched.New(e.workers, e.depth)
 	return e, nil
 }
+
+// Close shuts down the engine's scheduler runtime: jobs already
+// accepted drain to completion (their futures fire), further
+// submissions — including synchronous Multiply calls — fail with
+// sched.ErrClosed, and the worker goroutines exit. Close is idempotent.
+// Planning APIs (PlanFor, Estimate, Tune) keep working on a closed
+// engine; only execution is refused.
+func (e *Engine) Close() error { return e.sched.Close() }
 
 // ChipName returns the engine's chip model.
 func (e *Engine) ChipName() string { return e.chip.Name }
@@ -144,9 +179,12 @@ func (e *Engine) PeakGFLOPS() float64 { return e.chip.PeakGFLOPS() }
 // Lanes returns σ_lane: float32 elements per SIMD register.
 func (e *Engine) Lanes() int { return e.chip.Lanes }
 
-// resolve converts public options into core options.
+// resolve converts public options into core options. The engine's
+// scheduler rides along as a runtime-only field — it never enters the
+// plan fingerprint.
 func (e *Engine) resolve(opts *Options) (core.Options, error) {
 	co := core.AutoOptions(e.chip)
+	co.Runtime = e.sched
 	if opts == nil {
 		return co, nil
 	}
@@ -238,7 +276,9 @@ func (e *Engine) Tune(m, n, k, budget int) (Options, Perf, error) {
 		return Options{}, Perf{}, err
 	}
 	if _, err := e.plans.Get(rec.Fingerprint, func() (*core.Plan, error) {
-		return core.Attach(e.chip, rec, res.Best.Options())
+		o := res.Best.Options()
+		o.Runtime = e.sched
+		return core.Attach(e.chip, rec, o)
 	}); err != nil {
 		return Options{}, Perf{}, err
 	}

@@ -1,0 +1,85 @@
+package autogemm
+
+import (
+	"fmt"
+
+	"autogemm/internal/core"
+)
+
+// This file is the serving surface on top of the scheduler runtime:
+// batch submission (many GEMMs, one barrier) and asynchronous
+// submission (a future per GEMM). Both execute through the engine's
+// persistent worker pool — no per-call goroutines — with inter-job
+// parallelism: workers that exhaust one GEMM's tasks move to the next
+// submitted GEMM, so a batch of small shapes never strands workers
+// behind one slow multiplication. See docs/INTERNALS.md, "Runtime &
+// scheduling".
+
+// GEMM describes one C += A·B problem for MultiplyBatch or Submit:
+// row-major float32 matrices A (M×K), B (K×N) and C (M×N), with
+// optional per-problem algorithm parameters (nil Opts uses the
+// engine's defaults). Shapes may differ freely across a batch; plans
+// are served from the engine's plan cache per (shape, options)
+// fingerprint.
+type GEMM struct {
+	C, A, B []float32
+	M, N, K int
+	Opts    *Options
+}
+
+// Future is a pending asynchronous GEMM. Wait blocks until the
+// submitted job has completed and returns its first error; it is
+// idempotent and safe to call from multiple goroutines.
+type Future struct{ f *core.RunFuture }
+
+// Wait blocks for completion and returns the job's first error.
+func (f *Future) Wait() error { return f.f.Wait() }
+
+// Submit enqueues one GEMM on the engine's scheduler and returns a
+// future for its completion. Planning (or a plan-cache hit) happens
+// synchronously, so shape and option errors surface here; execution
+// errors surface from Wait. The operand slices must stay untouched
+// until Wait returns. Submit blocks while the scheduler is at its
+// queue depth (see WithQueueDepth) and fails with sched.ErrClosed
+// after Close.
+//
+// Results are bit-identical to a serial Multiply of the same problem:
+// the k chunks of each C tile accumulate in ascending order inside one
+// task regardless of how many workers claim the job.
+func (e *Engine) Submit(g GEMM) (*Future, error) {
+	p, err := e.plan(g.Opts, g.M, g.N, g.K)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := p.Submit(g.C, g.A, g.B)
+	if err != nil {
+		return nil, err
+	}
+	return &Future{f: rf}, nil
+}
+
+// MultiplyBatch computes C += A·B for every problem of the batch and
+// returns after all of them have completed — one barrier, not one per
+// problem. All jobs are in flight together (subject to the queue
+// depth), claimed by the engine's workers with inter-job parallelism.
+// The first error is returned, but every submitted job is always
+// waited for, so the operand slices are quiescent when MultiplyBatch
+// returns even on failure.
+func (e *Engine) MultiplyBatch(batch []GEMM) error {
+	futs := make([]*Future, 0, len(batch))
+	var firstErr error
+	for i := range batch {
+		f, err := e.Submit(batch[i])
+		if err != nil {
+			firstErr = fmt.Errorf("autogemm: batch element %d: %w", i, err)
+			break
+		}
+		futs = append(futs, f)
+	}
+	for i, f := range futs {
+		if err := f.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("autogemm: batch element %d: %w", i, err)
+		}
+	}
+	return firstErr
+}

@@ -1,8 +1,6 @@
 package autogemm
 
 import (
-	"fmt"
-
 	"autogemm/internal/core"
 )
 
@@ -37,25 +35,6 @@ func (e *Engine) SGEMMWith(opts *Options, transA, transB bool, m, n, k int,
 		Alpha: alpha, Beta: beta,
 		TransA: core.Transpose(transA), TransB: core.Transpose(transB),
 	}, c, a, b)
-}
-
-// MultiplyBatch computes C[i] += A[i]·B[i] for a batch of equally-shaped
-// problems, reusing one plan — the batched small-GEMM pattern of the
-// paper's DL motivation (§I).
-func (e *Engine) MultiplyBatch(c, a, b [][]float32, m, n, k int) error {
-	if len(a) != len(b) || len(b) != len(c) {
-		return fmt.Errorf("autogemm: batch slices disagree: %d/%d/%d", len(a), len(b), len(c))
-	}
-	plan, err := e.plan(nil, m, n, k)
-	if err != nil {
-		return err
-	}
-	for i := range c {
-		if err := plan.Run(c[i], a[i], b[i]); err != nil {
-			return fmt.Errorf("autogemm: batch element %d: %w", i, err)
-		}
-	}
-	return nil
 }
 
 // CachedPlans reports how many resolved plans the engine holds.

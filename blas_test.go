@@ -43,40 +43,79 @@ func TestSGEMMPublic(t *testing.T) {
 	}
 }
 
-// TestMultiplyBatch: all batch elements are computed and the plan is
-// reused (one cache entry).
+// TestMultiplyBatch: a heterogeneous batch completes through one
+// barrier, every element matches the reference, and equally-shaped
+// elements share one cached plan.
 func TestMultiplyBatch(t *testing.T) {
 	e, err := New("Graviton2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	const m, n, k, batch = 9, 12, 7, 5
-	a := make([][]float32, batch)
-	b := make([][]float32, batch)
-	c := make([][]float32, batch)
-	want := make([][]float32, batch)
-	for i := range a {
-		a[i] = make([]float32, m*k)
-		b[i] = make([]float32, k*n)
-		c[i] = make([]float32, m*n)
+	defer e.Close()
+	shapes := [][3]int{{9, 12, 7}, {9, 12, 7}, {9, 12, 7}, {16, 8, 24}, {5, 33, 11}}
+	batch := make([]GEMM, len(shapes))
+	want := make([][]float32, len(shapes))
+	for i, s := range shapes {
+		m, n, k := s[0], s[1], s[2]
+		g := GEMM{M: m, N: n, K: k,
+			A: make([]float32, m*k), B: make([]float32, k*n), C: make([]float32, m*n)}
+		refgemm.Fill(g.A, m, k, k, uint64(40+i))
+		refgemm.Fill(g.B, k, n, n, uint64(50+i))
 		want[i] = make([]float32, m*n)
-		refgemm.Fill(a[i], m, k, k, uint64(40+i))
-		refgemm.Fill(b[i], k, n, n, uint64(50+i))
-		refgemm.GEMM(m, n, k, a[i], k, b[i], n, want[i], n)
+		refgemm.GEMM(m, n, k, g.A, k, g.B, n, want[i], n)
+		batch[i] = g
 	}
-	if err := e.MultiplyBatch(c, a, b, m, n, k); err != nil {
+	if err := e.MultiplyBatch(batch); err != nil {
 		t.Fatal(err)
 	}
-	for i := range c {
-		if got := refgemm.MaxRelErr(c[i], want[i], m, n, n, n); got > refgemm.Tolerance {
+	for i, s := range shapes {
+		m, n := s[0], s[1]
+		if got := refgemm.MaxRelErr(batch[i].C, want[i], m, n, n, n); got > refgemm.Tolerance {
 			t.Errorf("batch element %d: max rel err %.3g", i, got)
 		}
 	}
-	if e.CachedPlans() != 1 {
-		t.Errorf("CachedPlans = %d, want 1 (plan reuse)", e.CachedPlans())
+	if e.CachedPlans() != 3 {
+		t.Errorf("CachedPlans = %d, want 3 (one per distinct shape)", e.CachedPlans())
 	}
-	if err := e.MultiplyBatch(c[:2], a[:3], b[:2], m, n, k); err == nil {
-		t.Error("mismatched batch lengths accepted")
+	bad := []GEMM{{M: 8, N: 8, K: 8, A: make([]float32, 4), B: make([]float32, 64), C: make([]float32, 64)}}
+	if err := e.MultiplyBatch(bad); err == nil {
+		t.Error("undersized batch element accepted")
+	}
+}
+
+// TestSubmitAsyncPublic: Submit returns a future that completes with
+// the right numbers, and the scheduler counters surface through
+// PlanCacheStats.
+func TestSubmitAsyncPublic(t *testing.T) {
+	e, err := New("KP920")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const m, n, k = 14, 18, 9
+	g := GEMM{M: m, N: n, K: k,
+		A: make([]float32, m*k), B: make([]float32, k*n), C: make([]float32, m*n)}
+	refgemm.Fill(g.A, m, k, k, 81)
+	refgemm.Fill(g.B, k, n, n, 82)
+	want := make([]float32, m*n)
+	refgemm.GEMM(m, n, k, g.A, k, g.B, n, want, n)
+
+	fut, err := e.Submit(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := refgemm.MaxRelErr(g.C, want, m, n, n, n); got > refgemm.Tolerance {
+		t.Errorf("async result max rel err %.3g", got)
+	}
+	st := e.PlanCacheStats()
+	if st.SchedJobsSubmitted < 1 || st.SchedJobsCompleted < 1 {
+		t.Errorf("scheduler counters %+v, want at least one job submitted and completed", st)
+	}
+	if st.SchedWorkers < 1 {
+		t.Errorf("SchedWorkers = %d, want >= 1", st.SchedWorkers)
 	}
 }
 

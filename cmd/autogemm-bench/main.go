@@ -6,6 +6,7 @@
 //	autogemm-bench -exp fig5,fig6
 //	autogemm-bench -exp all
 //	autogemm-bench -json -tag local            # engine GFLOP/s -> BENCH_local.json
+//	autogemm-bench -json -tag local -workers 1,2,4
 //	autogemm-bench -json -tag smoke -layers L16,L20 -mintime 100ms
 package main
 
@@ -27,11 +28,12 @@ func main() {
 	tag := flag.String("tag", "local", "tag for the -json output file name")
 	chip := flag.String("chip", "KP920", "chip configuration for -json (kernel shapes/lanes)")
 	layers := flag.String("layers", "", "comma-separated ResNet-50 layer subset for -json (default: all)")
+	workers := flag.String("workers", "", "comma-separated worker counts for -json (default: powers of two up to NumCPU)")
 	minTime := flag.Duration("mintime", 300*time.Millisecond, "minimum measurement time per -json data point")
 	flag.Parse()
 
 	if *jsonBench {
-		if err := runJSONBench(*tag, *chip, *layers, *minTime); err != nil {
+		if err := runJSONBench(*tag, *chip, *layers, *workers, *minTime); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,7 +31,22 @@ type benchResult struct {
 	GoMaxProcs int                `json:"goMaxProcs"`
 	Workers    []int              `json:"workers"`
 	Shapes     []benchShapeResult `json:"shapes"`
+	Batch      []benchBatchRun    `json:"batch"`
 	Summary    map[string]float64 `json:"summary"`
+}
+
+// benchBatchRun is one batch-throughput measurement: the whole shape
+// set submitted as a single Engine.MultiplyBatch on an engine with a
+// fixed worker-pool size, repeated until minTime. GEMMsPerSec counts
+// completed multiplications per second; the scheduler counters come
+// from PlanCacheStats at the end of the run.
+type benchBatchRun struct {
+	Workers        int     `json:"workers"`
+	GEMMsPerSec    float64 `json:"gemmsPerSec"`
+	JobsSubmitted  int64   `json:"jobsSubmitted"`
+	JobsCompleted  int64   `json:"jobsCompleted"`
+	TasksStolen    int64   `json:"tasksStolen"`
+	QueueHighWater int     `json:"queueHighWater"`
 }
 
 type benchShapeResult struct {
@@ -51,18 +67,14 @@ type benchShapeResult struct {
 	PlanWarmMicros float64 `json:"planWarmMicros"`
 }
 
-func runJSONBench(tag, chipName, layers string, minTime time.Duration) error {
+func runJSONBench(tag, chipName, layers, workersFlag string, minTime time.Duration) error {
 	chip, err := hw.ByName(chipName)
 	if err != nil {
 		return err
 	}
-	maxW := runtime.NumCPU()
-	var workers []int
-	for w := 1; w <= maxW; w *= 2 {
-		workers = append(workers, w)
-	}
-	if last := workers[len(workers)-1]; last != maxW {
-		workers = append(workers, maxW)
+	workers, err := parseWorkers(workersFlag)
+	if err != nil {
+		return err
 	}
 
 	shapes := workload.ResNet50()
@@ -154,6 +166,23 @@ func runJSONBench(tag, chipName, layers string, minTime time.Duration) error {
 	}
 	res.Summary["planCacheHitRate"] = round3(eng.PlanCacheStats().HitRate)
 
+	// Batch throughput: the whole shape set as one MultiplyBatch per
+	// repetition, one engine per worker count so the pool size is the
+	// only variable.
+	for _, w := range workers {
+		fmt.Fprintf(os.Stderr, "batch throughput, %d worker(s)...\n", w)
+		br, err := benchBatch(chip, shapes, w, minTime)
+		if err != nil {
+			return fmt.Errorf("batch w=%d: %w", w, err)
+		}
+		res.Batch = append(res.Batch, br)
+	}
+	if len(res.Batch) > 1 && res.Batch[0].Workers == 1 {
+		base := res.Batch[0].GEMMsPerSec
+		last := res.Batch[len(res.Batch)-1]
+		res.Summary[fmt.Sprintf("batchSpeedup%dw", last.Workers)] = round3(last.GEMMsPerSec / base)
+	}
+
 	out, err := json.MarshalIndent(&res, "", "  ")
 	if err != nil {
 		return err
@@ -189,6 +218,81 @@ func timePlanning(eng *autogemm.Engine, s workload.Shape) (cold, warm time.Durat
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 	return cold, times[probes/2], nil
+}
+
+// parseWorkers turns the -workers flag into a worker-count list; when
+// empty it defaults to powers of two up to NumCPU (plus NumCPU itself
+// when that is not a power of two).
+func parseWorkers(flagVal string) ([]int, error) {
+	if flagVal == "" {
+		maxW := runtime.NumCPU()
+		var workers []int
+		for w := 1; w <= maxW; w *= 2 {
+			workers = append(workers, w)
+		}
+		if last := workers[len(workers)-1]; last != maxW {
+			workers = append(workers, maxW)
+		}
+		return workers, nil
+	}
+	var workers []int
+	for _, f := range strings.Split(flagVal, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", f)
+		}
+		workers = append(workers, w)
+	}
+	return workers, nil
+}
+
+// benchBatch measures GEMMs/sec of Engine.MultiplyBatch over the shape
+// set on a fresh engine whose pool has w workers. One warm repetition
+// resolves every plan; the timed loop then measures pure batch
+// execution.
+func benchBatch(chip *hw.Chip, shapes []workload.Shape, w int, minTime time.Duration) (benchBatchRun, error) {
+	eng, err := autogemm.New(chip.Name, autogemm.WithWorkers(w))
+	if err != nil {
+		return benchBatchRun{}, err
+	}
+	defer eng.Close()
+
+	batch := make([]autogemm.GEMM, len(shapes))
+	for i, s := range shapes {
+		g := autogemm.GEMM{M: s.M, N: s.N, K: s.K,
+			A: make([]float32, s.M*s.K+4*chip.Lanes),
+			B: make([]float32, s.K*s.N+2*s.N+4*chip.Lanes),
+			C: make([]float32, s.M*s.N),
+		}
+		fill(g.A, 3)
+		fill(g.B, 5)
+		batch[i] = g
+	}
+
+	if err := eng.MultiplyBatch(batch); err != nil {
+		return benchBatchRun{}, err
+	}
+	var reps int
+	start := time.Now()
+	for {
+		if err := eng.MultiplyBatch(batch); err != nil {
+			return benchBatchRun{}, err
+		}
+		reps++
+		if time.Since(start) >= minTime {
+			break
+		}
+	}
+	sec := time.Since(start).Seconds()
+	st := eng.PlanCacheStats()
+	return benchBatchRun{
+		Workers:        w,
+		GEMMsPerSec:    round3(float64(reps*len(shapes)) / sec),
+		JobsSubmitted:  st.SchedJobsSubmitted,
+		JobsCompleted:  st.SchedJobsCompleted,
+		TasksStolen:    st.SchedTasksStolen,
+		QueueHighWater: st.SchedQueueHighWater,
+	}, nil
 }
 
 func benchPlan(chip *hw.Chip, s workload.Shape, forceInterp bool) (*core.Plan, error) {

@@ -38,23 +38,22 @@ func main() {
 	fmt.Printf("SGEMM(transA, alpha=0.5, beta=2) done; c[0]=%g c[last]=%g\n",
 		c[0], c[m*n-1])
 
-	// Batched small GEMM: 64 multiplications of one 8x8x8 shape reuse a
+	// Batched small GEMM: 64 multiplications of one 8x8x8 shape, all in
+	// flight on the engine's scheduler behind one barrier, reusing a
 	// single resolved plan (blocking, tiling and kernels generated once).
 	const batch, s = 64, 8
-	as := make([][]float32, batch)
-	bs := make([][]float32, batch)
-	cs := make([][]float32, batch)
-	for i := range as {
-		as[i] = make([]float32, s*s)
-		bs[i] = make([]float32, s*s)
-		cs[i] = make([]float32, s*s)
-		for j := range as[i] {
-			as[i][j] = float32((i + j) % 5)
-			bs[i][j] = float32((i * j) % 3)
+	jobs := make([]autogemm.GEMM, batch)
+	for i := range jobs {
+		g := autogemm.GEMM{M: s, N: s, K: s,
+			A: make([]float32, s*s), B: make([]float32, s*s), C: make([]float32, s*s)}
+		for j := range g.A {
+			g.A[j] = float32((i + j) % 5)
+			g.B[j] = float32((i * j) % 3)
 		}
+		jobs[i] = g
 	}
 	start := time.Now()
-	if err := eng.MultiplyBatch(cs, as, bs, s, s, s); err != nil {
+	if err := eng.MultiplyBatch(jobs); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("batched %d x (%dx%dx%d) in %v with %d cached plan(s)\n",

@@ -26,6 +26,7 @@ import (
 	"autogemm/internal/mkernel"
 	"autogemm/internal/perfmodel"
 	"autogemm/internal/plan"
+	"autogemm/internal/sched"
 	"autogemm/internal/tiling"
 )
 
@@ -125,6 +126,13 @@ type Options struct {
 	// Setting AUTOGEMM_INTERP=1 in the environment has the same
 	// effect. See docs/INTERNALS.md, "Compiled execution".
 	ForceInterp bool
+
+	// Runtime is the scheduler the attached plan executes on — a
+	// runtime-only field (like ForceInterp and Strategy) that never
+	// enters the plan fingerprint. nil selects the shared process-wide
+	// pool; engines pass their own pool so WithWorkers/WithQueueDepth
+	// and Close govern every execution they serve.
+	Runtime *sched.Pool
 }
 
 // AutoOptions returns the paper's default configuration for a chip:
@@ -156,11 +164,24 @@ type Plan struct {
 	tilings map[[2]int]tiling.Tiling // block (m, n) -> tiling, from Recipe
 	progs   map[[3]int]*blockProg    // block (m, n, k) -> resolved kernels
 
-	interpOnly bool      // ForceInterp or AUTOGEMM_INTERP=1
-	pool       sync.Pool // *execState, one per concurrent worker
+	interpOnly bool // ForceInterp or AUTOGEMM_INTERP=1
+
+	// Execution runtime, fixed at Attach: the scheduler every Run /
+	// RunParallel / Submit turns into a job on, the C-tile-group
+	// partition of the block grid (precomputed once — the per-call
+	// map+sort the old RunParallel paid is gone), and one scratch-state
+	// slot per pool worker. Slot i is only ever touched by worker i, so
+	// the states need no lock and no sync.Pool round trips.
+	runtime *sched.Pool
+	groups  [][]blockIter
+	states  []*execState
 
 	// Block-execution counters by path, updated atomically.
 	nInPlace, nABInPlace, nPacked, nInterp int64
+
+	// Scheduler counters: jobs this plan submitted / completed and the
+	// tasks of its jobs run by a worker other than the first claimant.
+	nJobs, nJobsDone, nStolen int64
 }
 
 // ExecStats counts block executions by path since the plan was created
@@ -172,6 +193,13 @@ type ExecStats struct {
 	ABInPlaceBlocks int64 // compiled; A/B in place, C staged through the block buffer
 	PackedBlocks    int64 // compiled over packed scratch panels
 	InterpBlocks    int64 // checked-interpreter fallback
+
+	// Scheduler counters for this plan's jobs (one job per Run /
+	// RunParallel / Submit): completions and stolen-task counts are
+	// tallied when the job's future is waited on.
+	JobsSubmitted int64
+	JobsCompleted int64
+	TasksStolen   int64 // tasks run by a worker other than the job's first claimant
 }
 
 // Stats returns a snapshot of the plan's execution counters.
@@ -181,6 +209,9 @@ func (p *Plan) Stats() ExecStats {
 		ABInPlaceBlocks: atomic.LoadInt64(&p.nABInPlace),
 		PackedBlocks:    atomic.LoadInt64(&p.nPacked),
 		InterpBlocks:    atomic.LoadInt64(&p.nInterp),
+		JobsSubmitted:   atomic.LoadInt64(&p.nJobs),
+		JobsCompleted:   atomic.LoadInt64(&p.nJobsDone),
+		TasksStolen:     atomic.LoadInt64(&p.nStolen),
 	}
 }
 

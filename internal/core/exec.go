@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -66,6 +65,11 @@ const kernelFuel = 1 << 31
 // and C are row-major with leading dimensions K, N and N. This is the
 // verification path; Estimate projects its runtime on the target chip.
 //
+// Run executes as a single-worker job on the plan's scheduler runtime:
+// one pool worker walks the precomputed C-tile groups in order, each
+// group's k chunks ascending — the serial reference every parallel,
+// batch and async execution is held bit-identical to.
+//
 // Kernels proven bound-safe by the analyzer execute in compiled
 // closure-threaded form, addressing the operand slices directly where
 // the panel prechecks allow it; anything unproven (and everything, when
@@ -75,19 +79,11 @@ const kernelFuel = 1 << 31
 // blocks whose kernels over-read past the matrix end otherwise fall
 // back to the packed path.
 func (p *Plan) Run(c, a, b []float32) error {
-	m, n, k := p.M, p.N, p.K
-	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
-		return fmt.Errorf("core: buffer sizes (%d,%d,%d) too small for %dx%dx%d",
-			len(a), len(b), len(c), m, n, k)
+	fut, err := p.submitJob(c, a, b, 1)
+	if err != nil {
+		return err
 	}
-	st := p.getState()
-	defer p.putState(st)
-	for _, blk := range p.blocks() {
-		if err := p.runBlock(st, blk, c, a, b); err != nil {
-			return err
-		}
-	}
-	return nil
+	return fut.Wait()
 }
 
 // bandCall is one compiled kernel invocation of a block: the program

@@ -2,42 +2,36 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"autogemm/internal/sched"
 )
 
-// RunParallel is Run with the block grid executed by worker goroutines —
-// the functional counterpart of the multi-core scheduling the Estimate
-// path models. Different (m, n) blocks touch disjoint C regions, so they
-// run concurrently; the k chunks of one block accumulate in order within
-// a single worker. workers <= 0 uses GOMAXPROCS.
-//
-// Work distribution is a shared atomic counter over the C-tile groups:
-// each worker claims the next unclaimed group when it finishes its
-// current one, so an expensive edge group never serializes the rest
-// behind a static partition. Worker scratch comes from the plan's
-// sync.Pool and the compiled backend addresses the user slices in place
-// where proven safe, so the per-call cost is bounded by the block
-// staging copies, not a whole-matrix arena build.
-func (p *Plan) RunParallel(c, a, b []float32, workers int) error {
-	m, n, k := p.M, p.N, p.K
-	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
-		return fmt.Errorf("core: buffer sizes (%d,%d,%d) too small for %dx%dx%d",
-			len(a), len(b), len(c), m, n, k)
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+// This file is the plan's bridge onto the scheduler runtime
+// (internal/sched). Every execution — serial Run, RunParallel, and the
+// asynchronous Submit the engine's batch/async API builds on — is one
+// scheduler job: the plan's C-tile groups are the job's tasks, claimed
+// from a shared atomic cursor by up to `workers` pool workers.
+// Different (m, n) groups touch disjoint C regions, so they run
+// concurrently; the k chunks of one group accumulate in ascending order
+// inside a single task, which keeps per-job results bit-identical to a
+// serial Run at every worker count.
 
-	// Group the block iteration by (m, n) tile of C, keeping each
-	// group's k chunks in ascending order (accumulation is
-	// order-sensitive only in rounding, but keep it deterministic).
-	nGroups := ((m + p.Opts.MC - 1) / p.Opts.MC) * ((n + p.Opts.NC - 1) / p.Opts.NC)
-	index := make(map[[2]int]int, nGroups)
-	groups := make([][]blockIter, 0, nGroups)
-	for _, blk := range p.blocks() {
+// jobSeq distinguishes jobs so worker-held pack-reuse keys reset at job
+// boundaries (see execState.job).
+var jobSeq uint64
+
+// partitionGroups groups a block iteration by (m, n) tile of C, keeping
+// each group's k chunks in ascending order (accumulation is
+// order-sensitive only in rounding, but keep it deterministic). Groups
+// appear in first-visit order of the plan's loop order. Attach calls
+// this once; execution never re-partitions.
+func partitionGroups(blocks []blockIter) [][]blockIter {
+	index := make(map[[2]int]int)
+	var groups [][]blockIter
+	for _, blk := range blocks {
 		key := [2]int{blk.MOff, blk.NOff}
 		gi, ok := index[key]
 		if !ok {
@@ -51,64 +45,80 @@ func (p *Plan) RunParallel(c, a, b []float32, workers int) error {
 		g := g
 		sort.SliceStable(g, func(i, j int) bool { return g[i].KOff < g[j].KOff })
 	}
+	return groups
+}
 
-	if workers > len(groups) {
-		workers = len(groups)
+// RunFuture is a pending GEMM job submitted through the plan's runtime.
+// Wait blocks until the job completes and returns its first error; it
+// is safe to call from multiple goroutines and idempotent.
+type RunFuture struct {
+	p    *Plan
+	f    *sched.Future
+	once sync.Once
+	err  error
+}
+
+// Wait blocks for the job and returns its first task error.
+func (f *RunFuture) Wait() error {
+	f.once.Do(func() {
+		f.err = f.f.Wait()
+		atomic.AddInt64(&f.p.nJobsDone, 1)
+		atomic.AddInt64(&f.p.nStolen, f.f.TasksStolen())
+	})
+	return f.err
+}
+
+// submitJob validates the operand buffers and enqueues the plan's
+// C-tile-group task list on the runtime as one job, claimed by at most
+// `workers` pool workers (<= 0 means all of them).
+func (p *Plan) submitJob(c, a, b []float32, workers int) (*RunFuture, error) {
+	m, n, k := p.M, p.N, p.K
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		return nil, fmt.Errorf("core: buffer sizes (%d,%d,%d) too small for %dx%dx%d",
+			len(a), len(b), len(c), m, n, k)
+	}
+	if workers <= 0 || workers > p.runtime.Workers() {
+		workers = p.runtime.Workers()
+	}
+	if workers > len(p.groups) {
+		workers = len(p.groups)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-
-	runGroup := func(st *execState, g []blockIter) error {
-		for _, blk := range g {
+	seq := atomic.AddUint64(&jobSeq, 1)
+	fut, err := p.runtime.Submit(len(p.groups), workers, func(w *sched.Worker, gi int) error {
+		st := p.stateFor(w, seq)
+		for _, blk := range p.groups[gi] {
 			if err := p.runBlock(st, blk, c, a, b); err != nil {
 				return err
 			}
 		}
 		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	atomic.AddInt64(&p.nJobs, 1)
+	return &RunFuture{p: p, f: fut}, nil
+}
 
-	if workers == 1 {
-		st := p.getState()
-		defer p.putState(st)
-		for _, g := range groups {
-			if err := runGroup(st, g); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
+// Submit enqueues the GEMM asynchronously — all pool workers may
+// participate — and returns a future for its completion. The operand
+// slices must stay untouched until Wait returns.
+func (p *Plan) Submit(c, a, b []float32) (*RunFuture, error) {
+	return p.submitJob(c, a, b, 0)
+}
 
-	var (
-		next    int64
-		failed  int32
-		mu      sync.Mutex
-		waitErr error
-		wg      sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			st := p.getState()
-			defer p.putState(st)
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(groups) || atomic.LoadInt32(&failed) != 0 {
-					return
-				}
-				if err := runGroup(st, groups[i]); err != nil {
-					atomic.StoreInt32(&failed, 1)
-					mu.Lock()
-					if waitErr == nil {
-						waitErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
+// RunParallel is Run with the C-tile groups claimed by up to `workers`
+// pool workers concurrently — the functional counterpart of the
+// multi-core scheduling the Estimate path models. workers <= 0 uses the
+// whole pool. Results are bit-identical to Run: each C tile's k chunks
+// execute in ascending order within one task.
+func (p *Plan) RunParallel(c, a, b []float32, workers int) error {
+	fut, err := p.submitJob(c, a, b, workers)
+	if err != nil {
+		return err
 	}
-	wg.Wait()
-	return waitErr
+	return fut.Wait()
 }

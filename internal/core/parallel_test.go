@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
+	"math"
 	"testing"
 
 	"autogemm/internal/hw"
 	"autogemm/internal/refgemm"
+	"autogemm/internal/sched"
 )
 
 // TestRunParallelMatchesReference: parallel execution equals the
@@ -88,5 +91,134 @@ func TestRunParallelValidation(t *testing.T) {
 	small := make([]float32, 4)
 	if err := plan.RunParallel(small, small, small, 2); err == nil {
 		t.Error("undersized buffers accepted")
+	}
+}
+
+// TestPartitionPrecomputed: the C-tile-group partition attached to the
+// plan covers the block grid exactly — every block of the loop-order
+// iteration appears in exactly one group, grouped by (MOff, NOff) with
+// k chunks ascending.
+func TestPartitionPrecomputed(t *testing.T) {
+	chip := hw.KP920()
+	for _, order := range AllLoopOrders() {
+		opts := Options{MC: 16, NC: 20, KC: 12, Order: order,
+			Pack: PackOnline, Rotate: true, Fuse: true}
+		plan, err := NewPlan(chip, 50, 70, 40, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, g := range plan.groups {
+			if len(g) == 0 {
+				t.Fatalf("order %v: empty group", order)
+			}
+			for i, blk := range g {
+				if blk.MOff != g[0].MOff || blk.NOff != g[0].NOff {
+					t.Fatalf("order %v: group mixes C tiles", order)
+				}
+				if i > 0 && blk.KOff <= g[i-1].KOff {
+					t.Fatalf("order %v: k chunks not ascending", order)
+				}
+			}
+			total += len(g)
+		}
+		if want := len(plan.blocks()); total != want {
+			t.Fatalf("order %v: partition covers %d blocks, grid has %d", order, total, want)
+		}
+	}
+}
+
+// TestRunParallelBitIdenticalToRun: the determinism contract — any
+// worker count produces the same bits as serial Run, because each C
+// tile's k chunks stay in ascending order inside one task.
+func TestRunParallelBitIdenticalToRun(t *testing.T) {
+	chip := hw.KP920()
+	const m, n, k = 50, 70, 40
+	opts := Options{MC: 16, NC: 20, KC: 12, Pack: PackOnline, Rotate: true, Fuse: true}
+	plan, err := NewPlan(chip, m, n, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	refgemm.Fill(a, m, k, k, 61)
+	refgemm.Fill(b, k, n, n, 62)
+	cInit := make([]float32, m*n)
+	refgemm.Fill(cInit, m, n, n, 63)
+
+	want := append([]float32(nil), cInit...)
+	if err := plan.Run(want, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		got := append([]float32(nil), cInit...)
+		if err := plan.RunParallel(got, a, b, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("workers=%d: C[%d] = %g != serial %g", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSubmitAsync: the asynchronous core path completes through the
+// future, matches the reference, and the plan's scheduler counters
+// advance.
+func TestSubmitAsync(t *testing.T) {
+	chip := hw.Graviton2()
+	const m, n, k = 24, 28, 16
+	plan, err := NewPlan(chip, m, n, k, AutoOptions(chip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	refgemm.Fill(a, m, k, k, 71)
+	refgemm.Fill(b, k, n, n, 72)
+	want := make([]float32, m*n)
+	refgemm.GEMM(m, n, k, a, k, b, n, want, n)
+
+	fut, err := plan.Submit(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fut.Wait(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if e := refgemm.MaxRelErr(c, want, m, n, n, n); e > refgemm.Tolerance {
+		t.Fatalf("max rel err %.3g", e)
+	}
+	st := plan.Stats()
+	if st.JobsSubmitted != 1 || st.JobsCompleted != 1 {
+		t.Errorf("sched counters %+v, want 1 job submitted and completed", st)
+	}
+}
+
+// TestRunOnClosedRuntime: a plan attached to a closed pool reports the
+// closure instead of hanging or panicking.
+func TestRunOnClosedRuntime(t *testing.T) {
+	pool := sched.New(2, 4)
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	chip := hw.KP920()
+	opts := AutoOptions(chip)
+	opts.Runtime = pool
+	plan, err := NewPlan(chip, 8, 8, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float32, 64)
+	if err := plan.Run(buf, buf, buf); !errors.Is(err, sched.ErrClosed) {
+		t.Fatalf("Run on closed runtime: err = %v, want sched.ErrClosed", err)
+	}
+	if _, err := plan.Submit(buf, buf, buf); !errors.Is(err, sched.ErrClosed) {
+		t.Fatalf("Submit on closed runtime: err = %v, want sched.ErrClosed", err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"autogemm/internal/mkernel"
 	"autogemm/internal/perfmodel"
 	"autogemm/internal/plan"
+	"autogemm/internal/sched"
 	"autogemm/internal/tiling"
 )
 
@@ -372,6 +373,16 @@ func Attach(chip *hw.Chip, rec *plan.Plan, runtime Options) (*Plan, error) {
 		}
 	}
 	p.interpOnly = o.ForceInterp || os.Getenv("AUTOGEMM_INTERP") == "1"
-	p.pool.New = func() any { return p.newState() }
+
+	// Execution runtime: the scheduler pool every run is a job on, one
+	// scratch slot per pool worker, and the C-tile-group partition —
+	// precomputed here, alongside blockProg, instead of rebuilt by
+	// every parallel call.
+	p.runtime = o.Runtime
+	if p.runtime == nil {
+		p.runtime = sched.Shared()
+	}
+	p.states = make([]*execState, p.runtime.Workers())
+	p.groups = partitionGroups(p.blocks())
 	return p, nil
 }

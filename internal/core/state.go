@@ -2,6 +2,7 @@ package core
 
 import (
 	"autogemm/internal/mkernel"
+	"autogemm/internal/sched"
 	"autogemm/internal/sim"
 	"autogemm/internal/sim/compile"
 )
@@ -9,9 +10,10 @@ import (
 // execState is the per-worker execution scratch: a compiled-kernel
 // environment, packing and C-staging buffers, and (built lazily, only
 // when a block falls back to the checked interpreter) a frozen arena
-// with a machine over it. States are recycled through the plan's
-// sync.Pool — Run and RunParallel borrow one per worker instead of
-// allocating and triple-copying a whole-matrix arena per call.
+// with a machine over it. Each scheduler worker owns one state per plan
+// — slot ID of the plan's states slice — built on the worker's first
+// task for the plan and reused across every later job, instead of the
+// old per-call sync.Pool borrowing.
 type execState struct {
 	env    *compile.Env
 	packA  []float32 // A block, row-major, lda = k_c
@@ -20,11 +22,12 @@ type execState struct {
 	cBufLD int
 
 	// Pack-reuse keys: the (offset, shape) of the block currently held
-	// in packA/packB. A and B are read-only during a Run, so when the
+	// in packA/packB. A and B are read-only during a job, so when the
 	// loop order revisits the same panel (e.g. the A block across the n
-	// loop in MNK order) the copy is skipped. Reset when the state is
-	// borrowed — the operand slices differ between calls.
+	// loop in MNK order) the copy is skipped. Reset when the worker
+	// moves to a new job — the operand slices differ between jobs.
 	aKey, bKey [4]int
+	job        uint64 // sequence number of the job the keys belong to
 
 	// Interpreter fallback. The arena layout is fixed at construction
 	// and frozen before any kernel runs, honouring sim.Arena's growth
@@ -49,6 +52,7 @@ func (p *Plan) newState() *execState {
 		packB:  make([]float32, (kcMax+2)*ld+2*lanes),
 		cBuf:   make([]float32, (mcMax+mkernel.MaxMR)*ld+2*lanes),
 		cBufLD: ld,
+		aKey:   noKey, bKey: noKey,
 	}
 }
 
@@ -69,14 +73,20 @@ func (st *execState) ensureInterp(lanes int) {
 // noKey marks a pack buffer as holding no reusable panel.
 var noKey = [4]int{-1, -1, -1, -1}
 
-// getState borrows a worker state from the plan's pool.
-func (p *Plan) getState() *execState {
-	st := p.pool.Get().(*execState)
-	st.aKey, st.bKey = noKey, noKey
+// stateFor returns the calling pool worker's scratch for this plan,
+// building it on first use. Slot w.ID() is only ever active on one
+// goroutine at a time (the sched.Worker contract), so the slice slot
+// needs no lock; pack-reuse keys reset when the worker crosses into a
+// new job, because the operand slices differ between jobs.
+func (p *Plan) stateFor(w *sched.Worker, job uint64) *execState {
+	st := p.states[w.ID()]
+	if st == nil {
+		st = p.newState()
+		p.states[w.ID()] = st
+	}
+	if st.job != job {
+		st.job = job
+		st.aKey, st.bKey = noKey, noKey
+	}
 	return st
-}
-
-// putState returns a state to the pool for reuse.
-func (p *Plan) putState(st *execState) {
-	p.pool.Put(st)
 }

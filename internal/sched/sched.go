@@ -1,0 +1,336 @@
+// Package sched is the persistent execution runtime GEMMs run on: a
+// fixed set of worker goroutines owned by an engine (or the shared
+// process-wide pool), a bounded job queue, and futures for asynchronous
+// completion.
+//
+// A job is one GEMM decomposed into independent tasks — the C-tile
+// groups of the plan's block grid. Tasks are claimed from a shared
+// atomic cursor, the same work-claiming discipline the old one-shot
+// RunParallel goroutines used, so an expensive edge group never
+// serializes the rest behind a static partition. Workers are not bound
+// to jobs: a worker that exhausts one job's claim frontier moves to the
+// next submitted job, and several workers gang up on a single large job
+// (up to the job's participant cap), so a batch of small shapes never
+// strands workers behind one slow GEMM.
+//
+// Backpressure policy: the pool bounds the number of jobs in flight
+// (submitted but not yet completed). Submit blocks while the pool is at
+// depth and fails with ErrClosed once Close is called. Close drains
+// every job already accepted — their futures complete — and then stops
+// the workers; it never abandons accepted work.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by Submit after Close, and by futures whose
+// submission raced with Close.
+var ErrClosed = errors.New("sched: pool closed")
+
+// Pool is a persistent worker pool executing jobs of independent tasks.
+// It is safe for concurrent use. Workers start lazily on the first
+// Submit and live until Close.
+type Pool struct {
+	workers int
+	depth   int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    []*job // claim frontier: accepted jobs with unclaimed tasks
+	inflight int   // accepted, not yet completed (bounded by depth)
+	started bool
+	closed  bool
+	wg      sync.WaitGroup
+
+	submitted int64
+	completed int64
+	stolen    int64
+	highWater int
+}
+
+// Stats is a snapshot of a pool's scheduling counters.
+type Stats struct {
+	Workers        int
+	JobsSubmitted  int64
+	JobsCompleted  int64
+	TasksStolen    int64 // tasks run by a worker other than the job's first claimant
+	QueueHighWater int   // most jobs ever in flight at once (bounded by the depth)
+}
+
+// New returns a pool with the given worker count and queue depth.
+// workers <= 0 uses GOMAXPROCS; depth <= 0 uses a default generous
+// enough that synchronous callers rarely block (max(64, 4·workers)).
+func New(workers, depth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = 4 * workers
+		if depth < 64 {
+			depth = 64
+		}
+	}
+	p := &Pool{workers: workers, depth: depth}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide fallback pool, used by plans attached
+// without an engine-owned runtime (direct core.NewPlan callers, tests).
+// It is sized at GOMAXPROCS and never closed.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = New(0, 0) })
+	return sharedPool
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Worker identifies one pool worker inside a task callback. IDs are
+// dense in [0, Workers()), stable for the life of the pool, and each ID
+// is only ever active on one goroutine at a time — callers key
+// per-worker scratch (e.g. the executor's packing buffers) by ID with
+// no locking.
+type Worker struct {
+	id   int
+	pool *Pool
+}
+
+// ID returns the worker's dense index in [0, Workers()).
+func (w *Worker) ID() int { return w.id }
+
+// job is one submitted unit: n independent tasks claimed from an atomic
+// cursor by up to max participating workers.
+type job struct {
+	pool *Pool
+	n    int
+	max  int
+	run  func(w *Worker, task int) error
+
+	next   int64 // atomic claim cursor
+	done   int64 // atomic completed-task count
+	failed int32 // atomic: a task returned an error; later claims skip
+	stolen int64 // atomic: tasks run by non-primary participants
+
+	parts  int  // participants joined (under pool.mu)
+	listed bool // still on pool.jobs (under pool.mu)
+
+	mu  sync.Mutex
+	err error
+
+	fin chan struct{}
+}
+
+// Future is a handle on a submitted job. Wait blocks until every task
+// has completed (or been skipped after a failure) and returns the first
+// task error.
+type Future struct{ j *job }
+
+// Wait blocks for job completion and returns the first task error.
+func (f *Future) Wait() error {
+	<-f.j.fin
+	f.j.mu.Lock()
+	defer f.j.mu.Unlock()
+	return f.j.err
+}
+
+// TasksStolen reports, after Wait, how many of the job's tasks ran on a
+// worker other than its first claimant.
+func (f *Future) TasksStolen() int64 {
+	<-f.j.fin
+	return atomic.LoadInt64(&f.j.stolen)
+}
+
+// Submit enqueues a job of `tasks` independent tasks, each executed as
+// run(worker, i), with at most maxWorkers pool workers participating
+// (<= 0 means all). Tasks are claimed in ascending index order; with
+// maxWorkers = 1 exactly one worker executes 0..tasks-1 sequentially.
+// Submit blocks while the pool is at its in-flight depth and returns
+// ErrClosed after Close.
+func (p *Pool) Submit(tasks, maxWorkers int, run func(w *Worker, task int) error) (*Future, error) {
+	if tasks < 0 {
+		return nil, fmt.Errorf("sched: negative task count %d", tasks)
+	}
+	if maxWorkers <= 0 || maxWorkers > p.workers {
+		maxWorkers = p.workers
+	}
+	j := &job{pool: p, n: tasks, max: maxWorkers, run: run, fin: make(chan struct{})}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.startLocked()
+	for p.inflight >= p.depth && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.submitted++
+	p.inflight++
+	if p.inflight > p.highWater {
+		p.highWater = p.inflight
+	}
+	if tasks == 0 {
+		p.inflight--
+		p.completed++
+		p.mu.Unlock()
+		close(j.fin)
+		return &Future{j}, nil
+	}
+	j.listed = true
+	p.jobs = append(p.jobs, j)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return &Future{j}, nil
+}
+
+// Close rejects further submissions, drains every job already accepted,
+// stops the workers and returns once they exit. It is idempotent;
+// Submit calls blocked on backpressure fail with ErrClosed.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Workers:        p.workers,
+		JobsSubmitted:  p.submitted,
+		JobsCompleted:  p.completed,
+		TasksStolen:    p.stolen,
+		QueueHighWater: p.highWater,
+	}
+}
+
+// startLocked spawns the workers on first use.
+func (p *Pool) startLocked() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.wg.Add(p.workers)
+	for id := 0; id < p.workers; id++ {
+		go p.worker(id)
+	}
+}
+
+// worker is the scheduling loop of one pool goroutine: claim tasks from
+// the first joinable job, fall through to the next when a frontier is
+// exhausted, park when nothing is claimable, exit when the pool is
+// closed and drained.
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	w := &Worker{id: id, pool: p}
+	p.mu.Lock()
+	for {
+		j := p.claimableLocked()
+		if j == nil {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		j.parts++
+		primary := j.parts == 1
+		p.mu.Unlock()
+		j.work(w, primary)
+		p.mu.Lock()
+	}
+}
+
+// claimableLocked returns the first accepted job a new participant may
+// join: unclaimed tasks remain and the participant cap is not reached.
+func (p *Pool) claimableLocked() *job {
+	for _, j := range p.jobs {
+		if j.parts < j.max && atomic.LoadInt64(&j.next) < int64(j.n) {
+			return j
+		}
+	}
+	return nil
+}
+
+// work claims and runs tasks until the job's frontier is exhausted.
+// After a task fails, later claims are skipped (but still counted), so
+// the job always completes and its future always fires.
+func (j *job) work(w *Worker, primary bool) {
+	for {
+		i := atomic.AddInt64(&j.next, 1) - 1
+		if i >= int64(j.n) {
+			j.unlist()
+			return
+		}
+		if atomic.LoadInt32(&j.failed) == 0 {
+			if err := j.run(w, int(i)); err != nil {
+				j.mu.Lock()
+				if j.err == nil {
+					j.err = err
+				}
+				j.mu.Unlock()
+				atomic.StoreInt32(&j.failed, 1)
+			}
+		}
+		if !primary {
+			atomic.AddInt64(&j.stolen, 1)
+		}
+		if atomic.AddInt64(&j.done, 1) == int64(j.n) {
+			j.finish()
+		}
+	}
+}
+
+// unlist removes an exhausted claim frontier from the pool's job list
+// (idempotent — several workers can observe exhaustion concurrently).
+func (j *job) unlist() {
+	p := j.pool
+	p.mu.Lock()
+	if j.listed {
+		j.listed = false
+		for i, q := range p.jobs {
+			if q == j {
+				p.jobs = append(p.jobs[:i], p.jobs[i+1:]...)
+				break
+			}
+		}
+	}
+	p.mu.Unlock()
+}
+
+// finish completes the job: fold its counters into the pool, free an
+// in-flight slot (waking blocked Submit calls) and fire the future.
+func (j *job) finish() {
+	p := j.pool
+	p.mu.Lock()
+	p.inflight--
+	p.completed++
+	p.stolen += atomic.LoadInt64(&j.stolen)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	close(j.fin)
+}

@@ -81,7 +81,7 @@ func (e *Engine) LoadPlan(data []byte) (*Plan, error) {
 		return nil, err
 	}
 	cp, err := e.plans.Get(rec.Fingerprint, func() (*core.Plan, error) {
-		return core.Attach(e.chip, rec, core.Options{})
+		return core.Attach(e.chip, rec, core.Options{Runtime: e.sched})
 	})
 	if err != nil {
 		return nil, err
@@ -102,21 +102,38 @@ func (e *Engine) SavePlan(p *Plan) error {
 	return e.registry.Store(p.p.Recipe)
 }
 
-// PlanCacheStats is a snapshot of the engine's plan-cache traffic.
-// Built counts plan constructions (including registry warm-starts):
-// under concurrent load it equals the number of distinct fingerprints
-// requested — the singleflight guarantee.
+// PlanCacheStats is a snapshot of the engine's plan-cache traffic and
+// its scheduler runtime. Built counts plan constructions (including
+// registry warm-starts): under concurrent load it equals the number of
+// distinct fingerprints requested — the singleflight guarantee. The
+// Sched* counters cover the execution layer: every Multiply /
+// MultiplyBatch / Submit is one scheduler job.
 type PlanCacheStats struct {
 	Hits    int64
 	Misses  int64
 	Built   int64
 	HitRate float64
+
+	SchedWorkers        int   // worker goroutines of the engine's pool
+	SchedJobsSubmitted  int64 // jobs accepted by the scheduler
+	SchedJobsCompleted  int64 // jobs whose every task finished
+	SchedTasksStolen    int64 // tasks run by a worker other than the job's first claimant
+	SchedQueueHighWater int   // most jobs ever in flight at once
 }
 
-// PlanCacheStats returns the engine's plan-cache counters.
+// PlanCacheStats returns the engine's plan-cache and scheduler
+// counters.
 func (e *Engine) PlanCacheStats() PlanCacheStats {
 	s := e.plans.Stats()
-	return PlanCacheStats{Hits: s.Hits, Misses: s.Misses, Built: s.Built, HitRate: s.HitRate()}
+	ss := e.sched.Stats()
+	return PlanCacheStats{
+		Hits: s.Hits, Misses: s.Misses, Built: s.Built, HitRate: s.HitRate(),
+		SchedWorkers:        ss.Workers,
+		SchedJobsSubmitted:  ss.JobsSubmitted,
+		SchedJobsCompleted:  ss.JobsCompleted,
+		SchedTasksStolen:    ss.TasksStolen,
+		SchedQueueHighWater: ss.QueueHighWater,
+	}
 }
 
 // planResolved serves the executor for resolved core options from the
