@@ -21,8 +21,10 @@ staticcheck:
 build:
 	$(GO) build ./...
 
+# The explicit -timeout turns a reintroduced scheduler hang into a fast
+# failure instead of a stalled CI job.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 # lint sweeps every generatable kernel variant through the dataflow
 # analyzer (internal/asm/analysis) and fails on any finding, then checks
@@ -44,9 +46,11 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sim/compile/
 	$(GO) run ./cmd/autogemm-bench -json -tag $(BENCH_TAG) -workers $(BENCH_WORKERS)
 
-# bench-smoke is the fast CI variant: two layers, short measurements.
+# bench-smoke is the fast CI variant: two layers, short measurements,
+# with the scheduler fault drill (panic/error/cancel injection) run
+# against the engine first.
 bench-smoke:
-	$(GO) run ./cmd/autogemm-bench -json -tag smoke -layers L16,L20 -mintime 50ms
+	AUTOGEMM_FAULT=all $(GO) run ./cmd/autogemm-bench -json -tag smoke -layers L16,L20 -mintime 50ms
 	@rm -f BENCH_smoke.json
 
 clean:

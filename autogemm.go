@@ -164,10 +164,11 @@ func New(chipName string, opts ...EngineOption) (*Engine, error) {
 
 // Close shuts down the engine's scheduler runtime: jobs already
 // accepted drain to completion (their futures fire), further
-// submissions — including synchronous Multiply calls — fail with
-// sched.ErrClosed, and the worker goroutines exit. Close is idempotent.
-// Planning APIs (PlanFor, Estimate, Tune) keep working on a closed
-// engine; only execution is refused.
+// submissions — including synchronous Multiply calls — fail with an
+// error matching ErrClosed, and the worker goroutines exit. Close is
+// idempotent; CloseWithTimeout bounds the drain. Planning APIs
+// (PlanFor, Estimate, Tune) keep working on a closed engine; only
+// execution is refused.
 func (e *Engine) Close() error { return e.sched.Close() }
 
 // ChipName returns the engine's chip model.
@@ -225,7 +226,7 @@ func (e *Engine) MultiplyWith(opts *Options, c, a, b []float32, m, n, k int) err
 	if err != nil {
 		return err
 	}
-	return p.Run(c, a, b)
+	return wrapExec(p.Run(c, a, b))
 }
 
 // Estimate projects the performance of the plan on the engine's chip.

@@ -1,6 +1,7 @@
 package autogemm
 
 import (
+	"context"
 	"fmt"
 
 	"autogemm/internal/core"
@@ -40,43 +41,53 @@ func (f *Future) Wait() error { return f.f.Wait() }
 // synchronously, so shape and option errors surface here; execution
 // errors surface from Wait. The operand slices must stay untouched
 // until Wait returns. Submit blocks while the scheduler is at its
-// queue depth (see WithQueueDepth) and fails with sched.ErrClosed
-// after Close.
+// queue depth (see WithQueueDepth) and fails with ErrClosed after
+// Close.
 //
 // Results are bit-identical to a serial Multiply of the same problem:
 // the k chunks of each C tile accumulate in ascending order inside one
 // task regardless of how many workers claim the job.
 func (e *Engine) Submit(g GEMM) (*Future, error) {
-	p, err := e.plan(g.Opts, g.M, g.N, g.K)
-	if err != nil {
-		return nil, err
-	}
-	rf, err := p.Submit(g.C, g.A, g.B)
-	if err != nil {
-		return nil, err
-	}
-	return &Future{f: rf}, nil
+	return e.SubmitContext(context.Background(), g)
 }
 
 // MultiplyBatch computes C += A·B for every problem of the batch and
 // returns after all of them have completed — one barrier, not one per
 // problem. All jobs are in flight together (subject to the queue
 // depth), claimed by the engine's workers with inter-job parallelism.
-// The first error is returned, but every submitted job is always
-// waited for, so the operand slices are quiescent when MultiplyBatch
-// returns even on failure.
+//
+// Batch elements are independent, and a failing element does not take
+// the rest of the batch with it: every element is submitted (and every
+// submitted job waited for) even when an earlier one fails, so the
+// operand slices are quiescent when MultiplyBatch returns and each
+// healthy element has executed. The first error, tagged with its
+// element index, is returned.
 func (e *Engine) MultiplyBatch(batch []GEMM) error {
-	futs := make([]*Future, 0, len(batch))
+	return e.MultiplyBatchContext(context.Background(), batch)
+}
+
+// MultiplyBatchContext is MultiplyBatch bound to a context: when ctx
+// fires, in-flight jobs of the batch are cancelled (their remaining
+// tasks skipped) and not-yet-accepted submissions abort, with the
+// element's error reporting ctx.Err(). The barrier semantics are
+// unchanged — every accepted job is waited for before returning.
+func (e *Engine) MultiplyBatchContext(ctx context.Context, batch []GEMM) error {
+	futs := make([]*Future, len(batch))
 	var firstErr error
 	for i := range batch {
-		f, err := e.Submit(batch[i])
+		f, err := e.SubmitContext(ctx, batch[i])
 		if err != nil {
-			firstErr = fmt.Errorf("autogemm: batch element %d: %w", i, err)
-			break
+			if firstErr == nil {
+				firstErr = fmt.Errorf("autogemm: batch element %d: %w", i, err)
+			}
+			continue // remaining elements are independent: keep submitting
 		}
-		futs = append(futs, f)
+		futs[i] = f
 	}
 	for i, f := range futs {
+		if f == nil {
+			continue
+		}
 		if err := f.Wait(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("autogemm: batch element %d: %w", i, err)
 		}

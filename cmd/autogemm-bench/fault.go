@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+
+	"autogemm"
+	"autogemm/internal/sched"
+)
+
+// The AUTOGEMM_FAULT knob runs a deterministic failure drill against
+// the real engine before any -json measurement: it injects the
+// requested fault classes through the scheduler's test hook
+// (sched.SetFaultHook) and through context cancellation, and verifies
+// the documented failure semantics — the fault surfaces as the right
+// error, the engine keeps serving afterwards, and no worker is lost.
+//
+//	AUTOGEMM_FAULT=panic,error,cancel autogemm-bench -json -tag smoke ...
+//
+// Accepted classes: "panic", "error", "cancel", or "all". CI runs the
+// drill in the bench-smoke job; the same paths are covered under -race
+// by the sched and root failure tests.
+
+// faultDrill executes each requested fault class on a fresh engine and
+// returns an error when a failure path misbehaves.
+func faultDrill(spec, chipName string) error {
+	modes := strings.Split(spec, ",")
+	if spec == "all" {
+		modes = []string{"panic", "error", "cancel"}
+	}
+	eng, err := autogemm.New(chipName, autogemm.WithWorkers(2))
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	defer sched.SetFaultHook(nil)
+
+	const m, n, k = 48, 48, 48
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	fill(a, 7)
+	fill(b, 9)
+	// Small explicit blocks so one job has several C-tile groups — the
+	// cancel drill needs claims left to skip after the fault lands.
+	opts := &autogemm.Options{MC: 16, NC: 16, KC: 16}
+	mul := func(ctx context.Context) error {
+		return eng.MultiplyWithContext(ctx, opts, make([]float32, m*n), a, b, m, n, k)
+	}
+
+	for _, mode := range modes {
+		var err error
+		switch strings.TrimSpace(mode) {
+		case "panic":
+			var fired int32
+			sched.SetFaultHook(func(task int) error {
+				if atomic.CompareAndSwapInt32(&fired, 0, 1) {
+					panic("AUTOGEMM_FAULT drill")
+				}
+				return nil
+			})
+			if err = mul(context.Background()); !errors.Is(err, autogemm.ErrPanicked) {
+				return fmt.Errorf("fault drill panic: err = %v, want ErrPanicked", err)
+			}
+		case "error":
+			var fired int32
+			boom := errors.New("AUTOGEMM_FAULT drill error")
+			sched.SetFaultHook(func(task int) error {
+				if atomic.CompareAndSwapInt32(&fired, 0, 1) {
+					return boom
+				}
+				return nil
+			})
+			if err = mul(context.Background()); !errors.Is(err, boom) {
+				return fmt.Errorf("fault drill error: err = %v, want injected error", err)
+			}
+		case "cancel":
+			// Cancel mid-job, from inside the job's first task: the
+			// remaining C-tile groups must be skipped and the call must
+			// report the cancellation, not a result.
+			ctx, cancel := context.WithCancel(context.Background())
+			var fired int32
+			sched.SetFaultHook(func(task int) error {
+				if atomic.CompareAndSwapInt32(&fired, 0, 1) {
+					cancel()
+				}
+				return nil
+			})
+			if err = mul(ctx); !errors.Is(err, context.Canceled) {
+				cancel()
+				return fmt.Errorf("fault drill cancel: err = %v, want context.Canceled", err)
+			}
+			cancel()
+		default:
+			return fmt.Errorf("unknown AUTOGEMM_FAULT class %q (panic, error, cancel, all)", mode)
+		}
+		sched.SetFaultHook(nil)
+		// The engine must keep serving at full strength after the fault.
+		if err := mul(context.Background()); err != nil {
+			return fmt.Errorf("fault drill %s: engine unhealthy afterwards: %v", mode, err)
+		}
+		fmt.Fprintf(os.Stderr, "fault drill %-6s ok (fault surfaced: %v)\n", mode, err)
+	}
+	st := eng.PlanCacheStats()
+	fmt.Fprintf(os.Stderr, "fault drill counters: panicked=%d cancelled=%d completed=%d/%d\n",
+		st.SchedTasksPanicked, st.SchedJobsCancelled, st.SchedJobsCompleted, st.SchedJobsSubmitted)
+	return nil
+}

@@ -72,6 +72,11 @@ func runJSONBench(tag, chipName, layers, workersFlag string, minTime time.Durati
 	if err != nil {
 		return err
 	}
+	if spec := os.Getenv("AUTOGEMM_FAULT"); spec != "" {
+		if err := faultDrill(spec, chip.Name); err != nil {
+			return err
+		}
+	}
 	workers, err := parseWorkers(workersFlag)
 	if err != nil {
 		return err

@@ -1,0 +1,93 @@
+package autogemm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"autogemm/internal/sched"
+)
+
+// This file is the public face of the runtime's hardened failure
+// semantics: exported sentinel errors, context-bound variants of every
+// execution surface, and the bounded-drain shutdown. The guarantees —
+// panic containment, prompt cancellation, drain deadlines — live in
+// internal/sched; see docs/INTERNALS.md, "Failure semantics".
+
+// ErrClosed matches (via errors.Is) every execution error returned
+// after Engine.Close: Multiply, MultiplyBatch, Submit and their context
+// variants all fail with an error wrapping it. It also matches the
+// underlying sched.ErrClosed, so pre-existing checks keep working.
+var ErrClosed = fmt.Errorf("autogemm: engine closed: %w", sched.ErrClosed)
+
+// ErrPanicked matches (via errors.Is) the error a Future (or a
+// synchronous Multiply) returns when a task of its job panicked. The
+// panic is contained by the scheduler: the worker survives, the engine
+// keeps serving, and the concrete error (a *sched.PanicError) carries
+// the panic value and stack.
+var ErrPanicked = sched.ErrPanicked
+
+// wrapExec translates scheduler sentinel errors crossing the public API
+// boundary into their exported, prefixed forms.
+func wrapExec(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, sched.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+// MultiplyContext is Multiply bound to a context: if ctx fires before
+// the job completes, the scheduler skips the job's remaining work and
+// the call returns ctx.Err(). A context firing also unblocks a
+// submission stalled on scheduler backpressure. The call returns only
+// once the job has actually completed — prompt on cancellation, since
+// only the task already running finishes — so c, a and b are always
+// quiescent when it returns.
+func (e *Engine) MultiplyContext(ctx context.Context, c, a, b []float32, m, n, k int) error {
+	return e.MultiplyWithContext(ctx, nil, c, a, b, m, n, k)
+}
+
+// MultiplyWithContext is MultiplyWith bound to a context.
+func (e *Engine) MultiplyWithContext(ctx context.Context, opts *Options, c, a, b []float32, m, n, k int) error {
+	p, err := e.plan(opts, m, n, k)
+	if err != nil {
+		return err
+	}
+	return wrapExec(p.RunContext(ctx, c, a, b))
+}
+
+// SubmitContext is Submit bound to a context: cancellation while
+// blocked on scheduler backpressure aborts the submission with
+// ctx.Err(); cancellation after acceptance fails the job promptly
+// (remaining tasks are skipped) and its future returns ctx.Err().
+func (e *Engine) SubmitContext(ctx context.Context, g GEMM) (*Future, error) {
+	p, err := e.plan(g.Opts, g.M, g.N, g.K)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := p.SubmitContext(ctx, g.C, g.A, g.B)
+	if err != nil {
+		return nil, wrapExec(err)
+	}
+	return &Future{f: rf}, nil
+}
+
+// WaitContext is Wait bounded by a context: it returns the job's first
+// error once the job completes, or ctx.Err() if the context fires
+// first. An early return does not abandon the job — it keeps running
+// unless its submission context is cancelled too, and the operand
+// slices stay in use until it completes.
+func (f *Future) WaitContext(ctx context.Context) error { return f.f.WaitContext(ctx) }
+
+// CloseWithTimeout is Close with a bounded drain: accepted jobs get at
+// most d to finish; if the deadline expires the engine reports how many
+// jobs are still running via an error matching sched.ErrDrainTimeout
+// instead of hanging. Draining continues in the background and a later
+// Close waits for it. New submissions are refused either way.
+func (e *Engine) CloseWithTimeout(d time.Duration) error {
+	return e.sched.CloseWithTimeout(d)
+}

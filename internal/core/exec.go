@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -79,7 +80,7 @@ const kernelFuel = 1 << 31
 // blocks whose kernels over-read past the matrix end otherwise fall
 // back to the packed path.
 func (p *Plan) Run(c, a, b []float32) error {
-	fut, err := p.submitJob(c, a, b, 1)
+	fut, err := p.submitJob(context.Background(), c, a, b, 1)
 	if err != nil {
 		return err
 	}

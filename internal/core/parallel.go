@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -68,11 +70,51 @@ func (f *RunFuture) Wait() error {
 	return f.err
 }
 
-// submitJob validates the operand buffers and enqueues the plan's
-// C-tile-group task list on the runtime as one job, claimed by at most
-// `workers` pool workers (<= 0 means all of them).
-func (p *Plan) submitJob(c, a, b []float32, workers int) (*RunFuture, error) {
+// WaitContext is Wait bounded by a context: it returns the job's error
+// once it completes, or ctx.Err() if the context fires first. An early
+// return does not abandon the job; Wait remains usable and the
+// operand slices stay in use until the job actually completes.
+func (f *RunFuture) WaitContext(ctx context.Context) error {
+	select {
+	case <-f.f.Done():
+		return f.Wait()
+	default:
+	}
+	select {
+	case <-f.f.Done():
+		return f.Wait()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// checkGeometry rejects negative extents and operand areas that
+// overflow int before any buffer-length arithmetic: with m = k = -1 the
+// product m*k is 1, so the minimum-length checks alone would wave
+// garbage geometry into execution.
+func checkGeometry(m, n, k int) error {
+	if m < 0 || n < 0 || k < 0 {
+		return fmt.Errorf("core: negative problem extents %dx%dx%d", m, n, k)
+	}
+	for _, d := range [3][2]int{{m, k}, {k, n}, {m, n}} {
+		if d[0] > 0 && d[1] > math.MaxInt/d[0] {
+			return fmt.Errorf("core: problem extents %dx%dx%d overflow int", m, n, k)
+		}
+	}
+	return nil
+}
+
+// submitJob validates the geometry and operand buffers and enqueues the
+// plan's C-tile-group task list on the runtime as one job bound to ctx,
+// claimed by at most `workers` pool workers (<= 0 means all of them).
+func (p *Plan) submitJob(ctx context.Context, c, a, b []float32, workers int) (*RunFuture, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m, n, k := p.M, p.N, p.K
+	if err := checkGeometry(m, n, k); err != nil {
+		return nil, err
+	}
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		return nil, fmt.Errorf("core: buffer sizes (%d,%d,%d) too small for %dx%dx%d",
 			len(a), len(b), len(c), m, n, k)
@@ -87,7 +129,7 @@ func (p *Plan) submitJob(c, a, b []float32, workers int) (*RunFuture, error) {
 		workers = 1
 	}
 	seq := atomic.AddUint64(&jobSeq, 1)
-	fut, err := p.runtime.Submit(len(p.groups), workers, func(w *sched.Worker, gi int) error {
+	fut, err := p.runtime.SubmitContext(ctx, len(p.groups), workers, func(w *sched.Worker, gi int) error {
 		st := p.stateFor(w, seq)
 		for _, blk := range p.groups[gi] {
 			if err := p.runBlock(st, blk, c, a, b); err != nil {
@@ -107,7 +149,28 @@ func (p *Plan) submitJob(c, a, b []float32, workers int) (*RunFuture, error) {
 // participate — and returns a future for its completion. The operand
 // slices must stay untouched until Wait returns.
 func (p *Plan) Submit(c, a, b []float32) (*RunFuture, error) {
-	return p.submitJob(c, a, b, 0)
+	return p.submitJob(context.Background(), c, a, b, 0)
+}
+
+// SubmitContext is Submit bound to a context: cancellation mid-job
+// skips the remaining C-tile groups (the job fails with ctx.Err()) and
+// unblocks a submitter stalled on scheduler backpressure.
+func (p *Plan) SubmitContext(ctx context.Context, c, a, b []float32) (*RunFuture, error) {
+	return p.submitJob(ctx, c, a, b, 0)
+}
+
+// RunContext is Run bound to a context: when ctx fires mid-job the
+// remaining C-tile groups are skipped and the call returns ctx.Err().
+// Unlike the asynchronous WaitContext, it returns only once the job has
+// actually completed — cancellation makes that prompt (bounded by the
+// task already running) — so the operand slices are always quiescent
+// when it returns and may be reused immediately.
+func (p *Plan) RunContext(ctx context.Context, c, a, b []float32) error {
+	fut, err := p.submitJob(ctx, c, a, b, 1)
+	if err != nil {
+		return err
+	}
+	return fut.Wait()
 }
 
 // RunParallel is Run with the C-tile groups claimed by up to `workers`
@@ -116,7 +179,18 @@ func (p *Plan) Submit(c, a, b []float32) (*RunFuture, error) {
 // whole pool. Results are bit-identical to Run: each C tile's k chunks
 // execute in ascending order within one task.
 func (p *Plan) RunParallel(c, a, b []float32, workers int) error {
-	fut, err := p.submitJob(c, a, b, workers)
+	fut, err := p.submitJob(context.Background(), c, a, b, workers)
+	if err != nil {
+		return err
+	}
+	return fut.Wait()
+}
+
+// RunParallelContext is RunParallel bound to a context. Like
+// RunContext it returns only once the job has completed (promptly on
+// cancellation), so the operand slices are quiescent on return.
+func (p *Plan) RunParallelContext(ctx context.Context, c, a, b []float32, workers int) error {
+	fut, err := p.submitJob(ctx, c, a, b, workers)
 	if err != nil {
 		return err
 	}

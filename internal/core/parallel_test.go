@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"autogemm/internal/hw"
@@ -220,5 +222,113 @@ func TestRunOnClosedRuntime(t *testing.T) {
 	}
 	if _, err := plan.Submit(buf, buf, buf); !errors.Is(err, sched.ErrClosed) {
 		t.Fatalf("Submit on closed runtime: err = %v, want sched.ErrClosed", err)
+	}
+}
+
+// TestGeometryValidation: negative extents and overflowing products are
+// rejected at the plan and submit boundaries instead of slipping past
+// the minimum-buffer-length checks (m = k = -1 makes m*k = 1).
+func TestGeometryValidation(t *testing.T) {
+	if err := checkGeometry(-1, 8, -1); err == nil {
+		t.Error("checkGeometry accepted negative extents")
+	}
+	big := math.MaxInt/2 + 1
+	if err := checkGeometry(big, 2, 2); err == nil {
+		t.Error("checkGeometry accepted an overflowing m*k product")
+	}
+	if err := checkGeometry(2, big, big); err == nil {
+		t.Error("checkGeometry accepted an overflowing k*n product")
+	}
+	if err := checkGeometry(1024, 1024, 1024); err != nil {
+		t.Errorf("checkGeometry rejected a sane problem: %v", err)
+	}
+
+	chip := hw.KP920()
+	for _, d := range [][3]int{{-1, 8, -1}, {8, -1, -1}, {-1, -1, -1}} {
+		if _, err := Produce(chip, d[0], d[1], d[2], AutoOptions(chip)); err == nil {
+			t.Errorf("Produce accepted %v", d)
+		}
+	}
+
+	// A deserialized recipe is untrusted: corrupting its geometry after
+	// production must fail Attach, not reach execution.
+	rec, err := Produce(chip, 8, 8, 8, AutoOptions(chip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Request.M, rec.Request.K = -1, -1
+	if _, err := Attach(chip, rec, AutoOptions(chip)); err == nil {
+		t.Error("Attach accepted a recipe with negative geometry")
+	}
+
+	// And the submit boundary itself rejects garbage geometry even if a
+	// plan struct with negative extents is conjured directly.
+	good, err := NewPlan(chip, 8, 8, 8, AutoOptions(chip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good.M, good.K = -1, -1
+	buf := make([]float32, 64)
+	if _, err := good.Submit(buf, buf, buf); err == nil {
+		t.Error("submitJob accepted m = k = -1 (m*k = 1 bypass)")
+	}
+}
+
+// TestRunContextCancelledMidJob: cancelling the context from inside the
+// first C-tile-group task skips the remaining groups and surfaces
+// context.Canceled from RunContext.
+func TestRunContextCancelledMidJob(t *testing.T) {
+	chip := hw.KP920()
+	opts := AutoOptions(chip)
+	opts.MC, opts.NC, opts.KC = 16, 16, 16
+	plan, err := NewPlan(chip, 48, 48, 48, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.groups) < 2 {
+		t.Fatalf("want multiple C-tile groups, got %d", len(plan.groups))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired int32
+	sched.SetFaultHook(func(task int) error {
+		if atomic.CompareAndSwapInt32(&fired, 0, 1) {
+			cancel()
+		}
+		return nil
+	})
+	defer sched.SetFaultHook(nil)
+	const m, n, k = 48, 48, 48
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	refgemm.Fill(a, m, k, k, 3)
+	refgemm.Fill(b, k, n, n, 4)
+	if err := plan.RunContext(ctx, c, a, b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	sched.SetFaultHook(nil)
+	// The plan (and its runtime) keep serving after the cancellation.
+	if err := plan.Run(c, a, b); err != nil {
+		t.Fatalf("Run after cancelled RunContext: %v", err)
+	}
+}
+
+// TestSubmitContextPreCancelledCore: an already-cancelled context stops
+// the submission at the boundary with ctx.Err().
+func TestSubmitContextPreCancelledCore(t *testing.T) {
+	chip := hw.KP920()
+	plan, err := NewPlan(chip, 8, 8, 8, AutoOptions(chip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	buf := make([]float32, 64)
+	if _, err := plan.SubmitContext(ctx, buf, buf, buf); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubmitContext = %v, want context.Canceled", err)
+	}
+	if err := plan.RunParallelContext(ctx, buf, buf, buf, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunParallelContext = %v, want context.Canceled", err)
 	}
 }

@@ -196,6 +196,9 @@ func Produce(chip *hw.Chip, m, n, k int, opts Options) (*plan.Plan, error) {
 	if m <= 0 || n <= 0 || k <= 0 {
 		return nil, fmt.Errorf("core: invalid problem %dx%dx%d", m, n, k)
 	}
+	if err := checkGeometry(m, n, k); err != nil {
+		return nil, err
+	}
 	req := RequestOf(chip, m, n, k, opts)
 	o := resolveOptions(chip, m, n, k, opts)
 	params := perfmodel.FromChip(chip)
@@ -327,6 +330,16 @@ func Attach(chip *hw.Chip, rec *plan.Plan, runtime Options) (*Plan, error) {
 	}
 	if rec.Request.Chip != chip.Name {
 		return nil, fmt.Errorf("core: plan for chip %s attached to %s", rec.Request.Chip, chip.Name)
+	}
+	// A deserialized recipe is untrusted: reject degenerate or
+	// overflowing geometry here, before it can reach execution where the
+	// minimum-buffer-length checks would mis-evaluate on it.
+	if rec.Request.M <= 0 || rec.Request.N <= 0 || rec.Request.K <= 0 {
+		return nil, fmt.Errorf("core: plan has invalid problem %dx%dx%d",
+			rec.Request.M, rec.Request.N, rec.Request.K)
+	}
+	if err := checkGeometry(rec.Request.M, rec.Request.N, rec.Request.K); err != nil {
+		return nil, err
 	}
 	order, err := OrderFromString(rec.Order)
 	if err != nil {

@@ -18,19 +18,57 @@
 // depth and fails with ErrClosed once Close is called. Close drains
 // every job already accepted — their futures complete — and then stops
 // the workers; it never abandons accepted work.
+//
+// Failure semantics: a panic inside a task is contained — it is
+// converted into a *PanicError on the job (matching ErrPanicked), the
+// worker survives, the job's remaining claims are skipped, and the
+// future still fires. SubmitContext binds a job to a context:
+// cancellation makes later claims skip work (the error-fast-path) and
+// wakes submitters blocked on backpressure. CloseWithTimeout bounds the
+// drain and reports still-running work instead of hanging.
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrClosed is returned by Submit after Close, and by futures whose
 // submission raced with Close.
 var ErrClosed = errors.New("sched: pool closed")
+
+// ErrPanicked matches (via errors.Is) the error a job's future returns
+// when one of its tasks panicked. The concrete error is a *PanicError
+// carrying the recovered value and stack.
+var ErrPanicked = errors.New("sched: task panicked")
+
+// ErrDrainTimeout matches the error CloseWithTimeout returns when the
+// drain deadline expires with jobs still running.
+var ErrDrainTimeout = errors.New("sched: drain timed out")
+
+// PanicError is the job error produced when a task panics: the panic is
+// recovered inside the worker (which survives and keeps serving other
+// jobs), the job fails, and its future returns this error. It unwraps
+// to ErrPanicked.
+type PanicError struct {
+	Task  int    // index of the panicking task
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine at recovery
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: task %d panicked: %v", e.Task, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrPanicked) match.
+func (e *PanicError) Unwrap() error { return ErrPanicked }
 
 // Pool is a persistent worker pool executing jobs of independent tasks.
 // It is safe for concurrent use. Workers start lazily on the first
@@ -51,6 +89,9 @@ type Pool struct {
 	completed int64
 	stolen    int64
 	highWater int
+
+	panicked  int64 // atomic: tasks whose panic was contained
+	cancelled int64 // jobs failed by context cancellation
 }
 
 // Stats is a snapshot of a pool's scheduling counters.
@@ -60,6 +101,8 @@ type Stats struct {
 	JobsCompleted  int64
 	TasksStolen    int64 // tasks run by a worker other than the job's first claimant
 	QueueHighWater int   // most jobs ever in flight at once (bounded by the depth)
+	TasksPanicked  int64 // tasks whose panic was recovered and converted to a job error
+	JobsCancelled  int64 // jobs that failed because their context was cancelled
 }
 
 // New returns a pool with the given worker count and queue depth.
@@ -113,6 +156,7 @@ func (w *Worker) ID() int { return w.id }
 // cursor by up to max participating workers.
 type job struct {
 	pool *Pool
+	ctx  context.Context // cancellation: later claims skip once Done
 	n    int
 	max  int
 	run  func(w *Worker, task int) error
@@ -144,6 +188,32 @@ func (f *Future) Wait() error {
 	return f.j.err
 }
 
+// Done returns a channel closed when the job completes (every task ran
+// or was skipped). After Done, Wait returns without blocking.
+func (f *Future) Done() <-chan struct{} { return f.j.fin }
+
+// WaitContext is Wait bounded by a context: it returns the job's first
+// task error once the job completes, or ctx.Err() if the context fires
+// first. An early context return does not abandon the job — it keeps
+// running (or draining, if it was itself cancelled) and Wait remains
+// usable.
+func (f *Future) WaitContext(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-f.j.fin: // completed: prefer the job's result over a racing cancel
+		return f.Wait()
+	default:
+	}
+	select {
+	case <-f.j.fin:
+		return f.Wait()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // TasksStolen reports, after Wait, how many of the job's tasks ran on a
 // worker other than its first claimant.
 func (f *Future) TasksStolen() int64 {
@@ -158,13 +228,30 @@ func (f *Future) TasksStolen() int64 {
 // Submit blocks while the pool is at its in-flight depth and returns
 // ErrClosed after Close.
 func (p *Pool) Submit(tasks, maxWorkers int, run func(w *Worker, task int) error) (*Future, error) {
+	return p.SubmitContext(context.Background(), tasks, maxWorkers, run)
+}
+
+// SubmitContext is Submit bound to a context. A context that fires
+// while the submitter is blocked on backpressure aborts the submission
+// with ctx.Err(); one that fires after acceptance cancels the job —
+// unclaimed tasks are skipped (claims drain without running work, the
+// same fast-path a task error takes), the job completes promptly, and
+// its future returns ctx.Err(). A task already running is not
+// interrupted. A nil context means Background.
+func (p *Pool) SubmitContext(ctx context.Context, tasks, maxWorkers int, run func(w *Worker, task int) error) (*Future, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if tasks < 0 {
 		return nil, fmt.Errorf("sched: negative task count %d", tasks)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if maxWorkers <= 0 || maxWorkers > p.workers {
 		maxWorkers = p.workers
 	}
-	j := &job{pool: p, n: tasks, max: maxWorkers, run: run, fin: make(chan struct{})}
+	j := &job{pool: p, ctx: ctx, n: tasks, max: maxWorkers, run: run, fin: make(chan struct{})}
 
 	p.mu.Lock()
 	if p.closed {
@@ -172,12 +259,37 @@ func (p *Pool) Submit(tasks, maxWorkers int, run func(w *Worker, task int) error
 		return nil, ErrClosed
 	}
 	p.startLocked()
-	for p.inflight >= p.depth && !p.closed {
-		p.cond.Wait()
+	if p.inflight >= p.depth {
+		// Blocked on backpressure: a cond.Wait cannot select on the
+		// context, so a watcher broadcasts when it fires and the loop
+		// re-checks ctx.Err. The watcher exits either way.
+		var stop chan struct{}
+		if done := ctx.Done(); done != nil {
+			stop = make(chan struct{})
+			go func() {
+				select {
+				case <-done:
+					p.mu.Lock()
+					p.cond.Broadcast()
+					p.mu.Unlock()
+				case <-stop:
+				}
+			}()
+		}
+		for p.inflight >= p.depth && !p.closed && ctx.Err() == nil {
+			p.cond.Wait()
+		}
+		if stop != nil {
+			close(stop)
+		}
 	}
 	if p.closed {
 		p.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		p.mu.Unlock()
+		return nil, err
 	}
 	p.submitted++
 	p.inflight++
@@ -202,16 +314,41 @@ func (p *Pool) Submit(tasks, maxWorkers int, run func(w *Worker, task int) error
 // stops the workers and returns once they exit. It is idempotent;
 // Submit calls blocked on backpressure fail with ErrClosed.
 func (p *Pool) Close() error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	p.beginClose()
+	p.wg.Wait()
+	return nil
+}
+
+// CloseWithTimeout is Close with a bounded drain: it rejects further
+// submissions, lets accepted jobs drain for at most d, and — instead of
+// hanging on a stuck task — returns an ErrDrainTimeout-matching error
+// reporting how many jobs are still in flight. The workers keep
+// draining in the background; a later Close (or CloseWithTimeout) waits
+// again. It is safe to call repeatedly and after Close.
+func (p *Pool) CloseWithTimeout(d time.Duration) error {
+	p.beginClose()
+	done := make(chan struct{})
+	go func() { p.wg.Wait(); close(done) }()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-done:
 		return nil
+	case <-timer.C:
+		p.mu.Lock()
+		n := p.inflight
+		p.mu.Unlock()
+		return fmt.Errorf("%w after %v: %d job(s) still in flight", ErrDrainTimeout, d, n)
 	}
+}
+
+// beginClose marks the pool closed and wakes every parked worker and
+// blocked submitter. Idempotent.
+func (p *Pool) beginClose() {
+	p.mu.Lock()
 	p.closed = true
 	p.cond.Broadcast()
 	p.mu.Unlock()
-	p.wg.Wait()
-	return nil
 }
 
 // Stats returns a snapshot of the pool's counters.
@@ -224,6 +361,8 @@ func (p *Pool) Stats() Stats {
 		JobsCompleted:  p.completed,
 		TasksStolen:    p.stolen,
 		QueueHighWater: p.highWater,
+		TasksPanicked:  atomic.LoadInt64(&p.panicked),
+		JobsCancelled:  p.cancelled,
 	}
 }
 
@@ -277,8 +416,9 @@ func (p *Pool) claimableLocked() *job {
 }
 
 // work claims and runs tasks until the job's frontier is exhausted.
-// After a task fails, later claims are skipped (but still counted), so
-// the job always completes and its future always fires.
+// After a task fails — an error return, a contained panic, or the job's
+// context firing — later claims are skipped (but still counted), so the
+// job always completes and its future always fires.
 func (j *job) work(w *Worker, primary bool) {
 	for {
 		i := atomic.AddInt64(&j.next, 1) - 1
@@ -287,13 +427,10 @@ func (j *job) work(w *Worker, primary bool) {
 			return
 		}
 		if atomic.LoadInt32(&j.failed) == 0 {
-			if err := j.run(w, int(i)); err != nil {
-				j.mu.Lock()
-				if j.err == nil {
-					j.err = err
-				}
-				j.mu.Unlock()
-				atomic.StoreInt32(&j.failed, 1)
+			if err := j.ctx.Err(); err != nil {
+				j.fail(err, true)
+			} else if err := j.runTask(w, int(i)); err != nil {
+				j.fail(err, false)
 			}
 		}
 		if !primary {
@@ -302,6 +439,42 @@ func (j *job) work(w *Worker, primary bool) {
 		if atomic.AddInt64(&j.done, 1) == int64(j.n) {
 			j.finish()
 		}
+	}
+}
+
+// runTask executes one task, converting a panic into a *PanicError so a
+// panicking task fails its job — future fires, in-flight slot freed —
+// without killing the pool worker.
+func (j *job) runTask(w *Worker, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddInt64(&j.pool.panicked, 1)
+			err = &PanicError{Task: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if h := loadFaultHook(); h != nil {
+		if err := h(i); err != nil {
+			return err
+		}
+	}
+	return j.run(w, i)
+}
+
+// fail records the job's first error and flips the skip fast-path so
+// remaining claims drain without running work.
+func (j *job) fail(err error, cancelled bool) {
+	j.mu.Lock()
+	first := j.err == nil
+	if first {
+		j.err = err
+	}
+	j.mu.Unlock()
+	atomic.StoreInt32(&j.failed, 1)
+	if first && cancelled {
+		p := j.pool
+		p.mu.Lock()
+		p.cancelled++
+		p.mu.Unlock()
 	}
 }
 

@@ -68,7 +68,7 @@ func (e *Engine) MultiplyPlanned(p *Plan, c, a, b []float32) error {
 	if p.p.Chip.Name != e.chip.Name {
 		return fmt.Errorf("autogemm: plan for chip %s used on %s", p.p.Chip.Name, e.chip.Name)
 	}
-	return p.p.Run(c, a, b)
+	return wrapExec(p.p.Run(c, a, b))
 }
 
 // LoadPlan deserializes a plan produced by Encode (or read from a
@@ -119,6 +119,8 @@ type PlanCacheStats struct {
 	SchedJobsCompleted  int64 // jobs whose every task finished
 	SchedTasksStolen    int64 // tasks run by a worker other than the job's first claimant
 	SchedQueueHighWater int   // most jobs ever in flight at once
+	SchedTasksPanicked  int64 // tasks whose panic was contained into a job error
+	SchedJobsCancelled  int64 // jobs failed by context cancellation
 }
 
 // PlanCacheStats returns the engine's plan-cache and scheduler
@@ -133,6 +135,8 @@ func (e *Engine) PlanCacheStats() PlanCacheStats {
 		SchedJobsCompleted:  ss.JobsCompleted,
 		SchedTasksStolen:    ss.TasksStolen,
 		SchedQueueHighWater: ss.QueueHighWater,
+		SchedTasksPanicked:  ss.TasksPanicked,
+		SchedJobsCancelled:  ss.JobsCancelled,
 	}
 }
 
