@@ -279,6 +279,7 @@ func (e *Engine) Tune(m, n, k, budget int) (Options, Perf, error) {
 	if _, err := e.plans.Get(rec.Fingerprint, func() (*core.Plan, error) {
 		o := res.Best.Options()
 		o.Runtime = e.sched
+		o.TrustedPlan = true // tuned in-process, no audit needed
 		return core.Attach(e.chip, rec, o)
 	}); err != nil {
 		return Options{}, Perf{}, err

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"autogemm/internal/core"
+	"autogemm/internal/hw"
+	"autogemm/internal/mkernel"
+	"autogemm/internal/plan"
+	"autogemm/internal/plan/audit"
+)
+
+// auditShapes are the geometries the self-baking audit sweep proves per
+// chip: an aligned square, an irregular shape with ragged tails in all
+// three dimensions, a small prime-sided shape, and a skinny GEMV-like
+// shape — the corners where coverage and bounds composition can break.
+var auditShapes = [][3]int{
+	{64, 64, 64},
+	{129, 200, 55},
+	{37, 41, 43},
+	{8, 1000, 32},
+}
+
+// runAuditSweep deep-audits plans: every entry of a registry directory
+// when one is given, otherwise plans freshly baked for every modeled
+// chip across auditShapes. Exit status 1 when any plan fails its audit.
+func runAuditSweep(dir, chipName string, verbose bool) int {
+	cache := mkernel.NewCache()
+	opts := audit.Options{Deep: true, Cache: cache}
+	plans, label, err := auditPlans(dir, chipName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	failures := 0
+	for _, p := range plans {
+		chip, err := hw.ByName(p.Request.Chip)
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Fingerprint, err)
+			continue
+		}
+		rep, err := audit.Audit(chip, p, opts)
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "%s (%s %dx%dx%d): %v\n",
+				p.Fingerprint, chip.Name, p.Request.M, p.Request.N, p.Request.K, err)
+			continue
+		}
+		if verbose {
+			fmt.Printf("%s %-10s %4dx%-4dx%-4d %d blocks, %d tiles, %d groups, %d kernels: %d checks passed\n",
+				p.Fingerprint[:12], chip.Name, p.Request.M, p.Request.N, p.Request.K,
+				rep.Blocks, rep.Tiles, rep.Groups, rep.Kernels, len(rep.Passed))
+		}
+	}
+	fmt.Printf("audit      %4d plan(s) from %s, %d failure(s)\n", len(plans), label, failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// auditPlans collects the plans to audit: the registry at dir, or
+// freshly produced plans when dir is empty.
+func auditPlans(dir, chipName string) ([]*plan.Plan, string, error) {
+	if dir != "" {
+		reg := plan.NewRegistry(dir)
+		fps, err := reg.List()
+		if err != nil {
+			return nil, "", err
+		}
+		var plans []*plan.Plan
+		for _, fp := range fps {
+			p, err := reg.Load(fp)
+			if err != nil {
+				return nil, "", fmt.Errorf("registry %s: %w", dir, err)
+			}
+			plans = append(plans, p)
+		}
+		return plans, dir, nil
+	}
+
+	chips := hw.All()
+	if chipName != "all" {
+		chip, err := hw.ByName(chipName)
+		if err != nil {
+			return nil, "", err
+		}
+		chips = []*hw.Chip{chip}
+	}
+	var plans []*plan.Plan
+	for _, chip := range chips {
+		for _, s := range auditShapes {
+			p, err := core.Produce(chip, s[0], s[1], s[2], core.AutoOptions(chip))
+			if err != nil {
+				return nil, "", fmt.Errorf("produce %s %dx%dx%d: %w", chip.Name, s[0], s[1], s[2], err)
+			}
+			plans = append(plans, p)
+		}
+	}
+	return plans, "baked plans", nil
+}
+
+// auditTamper applies one named corruption to a decoded plan value and
+// returns the tampered copy. The transforms operate on a value freshly
+// unmarshalled from the baseline bytes, so each injection starts from a
+// clean slate.
+func auditTamper(kind string, p plan.Plan) (plan.Plan, bool) {
+	switch kind {
+	case "oob":
+		// Shift a micro-tile past the block edge: coverage breaks and, if
+		// it survived, the elided bounds checks would be unlicensed.
+		p.Blocks[0].Panels[0].Row += 7
+	case "overlap":
+		// Stretch a panel over its neighbour: two C-tile groups write the
+		// same cells, racing under parallel execution.
+		p.Blocks[0].Panels[0].M += p.Blocks[0].Panels[0].MR
+	case "gap":
+		// Shrink the last panel: cells of C are never written.
+		blk := p.Blocks[0]
+		blk.Panels[len(blk.Panels)-1].M--
+	case "fingerprint":
+		// Break the request/fingerprint binding a registry filename
+		// relies on.
+		p.Fingerprint = "0000000000000000" + p.Fingerprint[16:]
+	case "format":
+		// Claim a future serialization format.
+		p.Format++
+	case "kernelkey":
+		// Name a kernel the plan's own tiling never derives.
+		p.KernelKeys = append(p.KernelKeys, "mk_9x8x77_l4_rot")
+	default:
+		return p, false
+	}
+	return p, true
+}
+
+// runAuditInjection bakes a clean plan, corrupts it one declared way
+// and audits it. Mirroring -inject, the exit status is 1 when the audit
+// catches the defect and 0 when it rubber-stamps the corrupt plan.
+func runAuditInjection(kind string) int {
+	chip, err := hw.ByName("KP920")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rec, err := core.Produce(chip, 129, 200, 55, core.AutoOptions(chip))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	data, err := rec.Encode()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	// Round-trip through JSON without Encode/Decode validation, exactly
+	// like a corrupt registry file reaches the auditor.
+	var p plan.Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	p, ok := auditTamper(kind, p)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown audit injection %q (want oob|overlap|gap|fingerprint|format|kernelkey)\n", kind)
+		return 2
+	}
+
+	if _, err := audit.Audit(chip, &p, audit.Options{Deep: true}); err != nil {
+		fmt.Printf("audit injection %q detected: %v\n", kind, err)
+		return 1
+	}
+	fmt.Printf("audit injection %q NOT detected\n", kind)
+	return 0
+}

@@ -11,6 +11,14 @@
 // -inject deliberately corrupts one representative kernel (or its
 // analysis contract) before linting, so CI can assert the analyzer
 // actually rejects bad code rather than rubber-stamping everything.
+//
+// -audit switches to the plan-audit sweep: every plan in a registry
+// directory (-plans), or plans freshly baked for each modeled chip, is
+// run through the deep static audit (internal/plan/audit) — coverage,
+// bounds composition, structural consistency, plus generation and
+// dataflow analysis of every kernel the plan names. -audit-inject
+// corrupts a baked plan one declared way (oob, overlap, gap,
+// fingerprint, format, kernelkey) and expects the audit to reject it.
 package main
 
 import (
@@ -51,12 +59,21 @@ func (l *linter) lint(p *asm.Program, opts analysis.Options) {
 
 func main() {
 	chipName := flag.String("chip", "all", "chip model, or 'all'")
-	verbose := flag.Bool("v", false, "print a report line per kernel")
+	verbose := flag.Bool("v", false, "print a report line per kernel (or per plan with -audit)")
 	inject := flag.String("inject", "", "corrupt a kernel first: clobber|use-before-def|pressure|rotation")
+	auditMode := flag.Bool("audit", false, "deep-audit plans instead of linting kernels")
+	plansDir := flag.String("plans", "", "registry directory for -audit (default: bake plans in-process)")
+	auditInject := flag.String("audit-inject", "", "corrupt a plan, expect the audit to reject: oob|overlap|gap|fingerprint|format|kernelkey")
 	flag.Parse()
 
 	if *inject != "" {
 		os.Exit(runInjection(*inject))
+	}
+	if *auditInject != "" {
+		os.Exit(runAuditInjection(*auditInject))
+	}
+	if *auditMode {
+		os.Exit(runAuditSweep(*plansDir, *chipName, *verbose))
 	}
 
 	chips := hw.All()

@@ -1,0 +1,78 @@
+// Command autogemm-vet runs the module's custom static-analysis passes
+// (internal/vet) over the tree: plan immutability outside internal/plan,
+// unsafe confinement to the JIT boundary, context-first exported
+// signatures, and goroutine confinement to the scheduler runtime.
+//
+// It exits 1 when any finding is reported, 2 on operational errors
+// (unparseable or untypecheckable tree), so CI can wire it next to
+// `go vet`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autogemm/internal/vet"
+)
+
+func main() {
+	root := flag.String("root", "", "module root to sweep (default: nearest go.mod above the working directory)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := vet.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*vet.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "autogemm-vet: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	dir := *root
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autogemm-vet: %v\n", err)
+			os.Exit(2)
+		}
+		dir, err = vet.FindModuleRoot(wd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autogemm-vet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	findings, err := vet.Run(dir, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autogemm-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "autogemm-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -28,6 +28,16 @@ var ErrClosed = fmt.Errorf("autogemm: engine closed: %w", sched.ErrClosed)
 // the panic value and stack.
 var ErrPanicked = sched.ErrPanicked
 
+// ErrBadPlan matches (via errors.Is) every error LoadPlan returns for
+// a plan that cannot be trusted: JSON that fails to decode, a format
+// version this build does not read, or a decoded plan that fails the
+// static audit (fingerprint mismatch, tiles that do not partition the
+// output, placements outside the proven kernel bounds, kernel keys the
+// plan's tilings do not reach). It also matches the underlying
+// audit.ErrAuditFailed. Registry entries failing these checks never
+// reach execution — the engine falls back to cold planning.
+var ErrBadPlan = errors.New("autogemm: bad plan")
+
 // wrapExec translates scheduler sentinel errors crossing the public API
 // boundary into their exported, prefixed forms.
 func wrapExec(err error) error {

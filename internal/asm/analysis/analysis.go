@@ -138,6 +138,35 @@ type Bounds struct {
 	BOverRows int
 }
 
+// The three *Extent methods are the proven bounds facts of a kernel in
+// composable form: the exclusive element extent each operand panel
+// access can reach from its base offset, under the symbolic proof that
+// every access has the affine form  off + row·ld + col  with row and
+// col inside the panel shape plus the declared over-read slack. They
+// are the single arithmetic shared by the compiled executor's runtime
+// Precheck (internal/sim/compile) and the static plan auditor
+// (internal/plan/audit), which composes them with tile placements to
+// prove loaded plans safe before anything executes.
+
+// AExtent returns the exclusive extent, in elements past the A panel
+// base, of the furthest A access: MR rows at stride lda, each row KC
+// elements plus AOverVectors whole vectors of slack.
+func (b Bounds) AExtent(lda int64) int64 {
+	return int64(b.MR-1)*lda + int64(b.KC) + int64(b.AOverVectors)*int64(b.Lanes)
+}
+
+// BExtent returns the exclusive extent past the B panel base:
+// KC + BOverRows rows at stride ldb, NR elements wide.
+func (b Bounds) BExtent(ldb int64) int64 {
+	return int64(b.KC+b.BOverRows-1)*ldb + int64(b.NR)
+}
+
+// CExtent returns the exclusive extent past the C panel base: MR rows
+// at stride ldc, NR elements wide — C has no over-read slack.
+func (b Bounds) CExtent(ldc int64) int64 {
+	return int64(b.MR-1)*ldc + int64(b.NR)
+}
+
 // Options configures Analyze.
 type Options struct {
 	// ArgRegs are the scalar registers holding arguments, defined at

@@ -133,6 +133,14 @@ type Options struct {
 	// pool; engines pass their own pool so WithWorkers/WithQueueDepth
 	// and Close govern every execution they serve.
 	Runtime *sched.Pool
+
+	// TrustedPlan marks the recipe handed to Attach as produced inside
+	// this process (by Produce or the tuner), skipping the static plan
+	// audit. Plans that crossed a process boundary — registry files,
+	// decoded JSON — must leave this false so Attach re-proves
+	// coverage, bounds and kernel-key consistency before any kernel
+	// can execute. Runtime-only; never enters the plan fingerprint.
+	TrustedPlan bool
 }
 
 // AutoOptions returns the paper's default configuration for a chip:
@@ -223,6 +231,7 @@ func NewPlan(chip *hw.Chip, m, n, k int, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.TrustedPlan = true // just produced in-process, no audit needed
 	return Attach(chip, rec, opts)
 }
 

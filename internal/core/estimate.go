@@ -59,14 +59,14 @@ func (p *Plan) Estimate() (Estimate, error) {
 		blockKernel, blockLaunch := 0.0, 0.0
 		for _, bd := range panelBands(tl, lanes) {
 			var cost float64
-			if p.Opts.Fuse && totalTiles(bd.segs) > 1 {
-				cfg := bandConfigFor(chip, p.Opts, bd.segs, key.kb)
+			if p.Opts.Fuse && totalTiles(bd.Segs) > 1 {
+				cfg := bandConfigFor(chip, p.Opts, bd.Segs, key.kb)
 				c, err := p.bandCycles(bandCache, cfg.Name(), lat, func() (*simProg, error) {
 					prog, err := p.cache.Band(cfg)
 					if err != nil {
 						return nil, err
 					}
-					return &simProg{prog: prog, mr: bd.mr, width: bd.width(), kc: key.kb}, nil
+					return &simProg{prog: prog, mr: bd.MR, width: bd.Width(), kc: key.kb}, nil
 				})
 				if err != nil {
 					return est, err
@@ -74,7 +74,7 @@ func (p *Plan) Estimate() (Estimate, error) {
 				cost = c
 				blockLaunch += float64(chip.LaunchCycles)
 			} else {
-				for _, seg := range bd.segs {
+				for _, seg := range bd.Segs {
 					cfg := kernelConfigFor(chip, p.Opts, seg.Tile, key.kb)
 					c, err := p.bandCycles(bandCache, cfg.Name(), lat, func() (*simProg, error) {
 						prog, err := p.cache.Kernel(cfg)

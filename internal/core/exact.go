@@ -75,9 +75,9 @@ func (p *Plan) EstimateExact() (Estimate, error) {
 		est.DRAMBytes += dram
 
 		for _, bd := range panelBands(tl, lanes) {
-			aArg := aBase + int64(bd.row*lda*4)
-			bArg := bBase + int64(bd.firstCol*4)
-			cArg := cBuf + int64((bd.row*cBufLD+bd.firstCol)*4)
+			aArg := aBase + int64(bd.Row*lda*4)
+			bArg := bBase + int64(bd.Col*4)
+			cArg := cBuf + int64((bd.Row*cBufLD+bd.Col)*4)
 			cycles, err := p.timeBandExact(model, mach, bd, blk.KB, aArg, bArg, cArg, lda, ldb, cBufLD)
 			if err != nil {
 				return est, err
@@ -119,8 +119,8 @@ func (p *Plan) timeBandExact(model *sim.Model, mach *sim.Machine, bd band, kc in
 		return float64(res.Cycles), nil
 	}
 
-	if p.Opts.Fuse && totalTiles(bd.segs) > 1 {
-		prog, err := p.cache.Band(bandConfigFor(p.Chip, p.Opts, bd.segs, kc))
+	if p.Opts.Fuse && totalTiles(bd.Segs) > 1 {
+		prog, err := p.cache.Band(bandConfigFor(p.Chip, p.Opts, bd.Segs, kc))
 		if err != nil {
 			return 0, err
 		}
@@ -128,7 +128,7 @@ func (p *Plan) timeBandExact(model *sim.Model, mach *sim.Machine, bd band, kc in
 	}
 	total := 0.0
 	colOff := int64(0)
-	for _, seg := range bd.segs {
+	for _, seg := range bd.Segs {
 		for i := 0; i < seg.Count; i++ {
 			prog, err := p.cache.Kernel(kernelConfigFor(p.Chip, p.Opts, seg.Tile, kc))
 			if err != nil {

@@ -10,51 +10,15 @@ import (
 	"autogemm/internal/tiling"
 )
 
-// band is one row strip of a panel: a sequence of tiles of equal height
-// executed as a fused band kernel (or tile by tile when fusion is off).
-type band struct {
-	mr       int
-	row      int // row offset inside the block
-	firstCol int // column offset inside the block (lane-aligned)
-	segs     []mkernel.Segment
-}
+// band is one row strip of a panel, decomposed by tiling.Bands — the
+// same derivation the planner's key enumeration and the plan auditor
+// use, so the three can never disagree about which kernels a tiling
+// runs.
+type band = tiling.Band
 
-// width returns the band's n extent.
-func (b band) width() int {
-	w := 0
-	for _, s := range b.segs {
-		w += s.Tile.NR * s.Count
-	}
-	return w
-}
-
-// panelBands decomposes a tiling into bands, one per row strip of each
-// panel (different panels split rows differently, so banding is
-// per-panel).
+// panelBands decomposes a tiling into bands; see tiling.Bands.
 func panelBands(tl tiling.Tiling, lanes int) []band {
-	var bands []band
-	rects := tl.Rects(lanes)
-	i := 0
-	for i < len(rects) {
-		j := i
-		segs := []mkernel.Segment{}
-		cur := rects[i]
-		// Collect rects in this row with contiguous columns and equal MR.
-		col := cur.Col
-		for j < len(rects) && rects[j].Row == cur.Row && rects[j].Tile.MR == cur.Tile.MR && rects[j].Col == col {
-			t := rects[j].Tile
-			if n := len(segs); n > 0 && segs[n-1].Tile == t {
-				segs[n-1].Count++
-			} else {
-				segs = append(segs, mkernel.Segment{Tile: t, Count: 1})
-			}
-			col += t.NR
-			j++
-		}
-		bands = append(bands, band{mr: cur.Tile.MR, row: cur.Row, firstCol: cur.Col, segs: segs})
-		i = j
-	}
-	return bands
+	return tl.Bands(lanes)
 }
 
 // kernelFuel bounds taken loop branches per kernel invocation — a
@@ -162,22 +126,22 @@ func (p *Plan) runBlock(st *execState, blk blockIter, c, a, b []float32) error {
 // kernel cache memoizes failures, so repeated blocks do not re-analyze.
 func (p *Plan) resolveCalls(bands []band, kc int) (calls []bandCall, ok bool) {
 	for _, bd := range bands {
-		if p.Opts.Fuse && totalTiles(bd.segs) > 1 {
-			cp, err := p.cache.CompiledBand(bandConfigFor(p.Chip, p.Opts, bd.segs, kc))
+		if p.Opts.Fuse && totalTiles(bd.Segs) > 1 {
+			cp, err := p.cache.CompiledBand(bandConfigFor(p.Chip, p.Opts, bd.Segs, kc))
 			if err != nil {
 				return nil, false
 			}
-			calls = append(calls, bandCall{cp: cp, row: bd.row, col: bd.firstCol})
+			calls = append(calls, bandCall{cp: cp, row: bd.Row, col: bd.Col})
 			continue
 		}
-		col := bd.firstCol
-		for _, seg := range bd.segs {
+		col := bd.Col
+		for _, seg := range bd.Segs {
 			cp, err := p.cache.CompiledKernel(kernelConfigFor(p.Chip, p.Opts, seg.Tile, kc))
 			if err != nil {
 				return nil, false
 			}
 			for i := 0; i < seg.Count; i++ {
-				calls = append(calls, bandCall{cp: cp, row: bd.row, col: col})
+				calls = append(calls, bandCall{cp: cp, row: bd.Row, col: col})
 				col += seg.Tile.NR
 			}
 		}
@@ -190,7 +154,7 @@ func (p *Plan) resolveCalls(bands []band, kc int) (calls []bandCall, ok bool) {
 // for storing C in place.
 func blockFits(bands []band, blk blockIter) bool {
 	for _, bd := range bands {
-		if bd.row+bd.mr > blk.MB || bd.firstCol+bd.width() > blk.NB {
+		if bd.Row+bd.MR > blk.MB || bd.Col+bd.Width() > blk.NB {
 			return false
 		}
 	}
@@ -327,9 +291,9 @@ func (p *Plan) runBlockInterp(st *execState, blk blockIter, bands []band, c, a, 
 	}
 
 	for _, bd := range bands {
-		aArg := st.aReg + int64(bd.row*lda*4)
-		bArg := st.bReg + int64(bd.firstCol*4)
-		cArg := st.cReg + int64((bd.row*ldc+bd.firstCol)*4)
+		aArg := st.aReg + int64(bd.Row*lda*4)
+		bArg := st.bReg + int64(bd.Col*4)
+		cArg := st.cReg + int64((bd.Row*ldc+bd.Col)*4)
 		if err := p.runBandInterp(st, bd, blk.KB, aArg, bArg, cArg, lda, ldb, ldc); err != nil {
 			return err
 		}
@@ -345,8 +309,8 @@ func (p *Plan) runBlockInterp(st *execState, blk blockIter, bands []band, c, a, 
 // runBandInterp executes one band on the machine, fused or tile-by-tile.
 func (p *Plan) runBandInterp(st *execState, bd band, kc int, aArg, bArg, cArg int64, lda, ldb, ldc int) error {
 	mach := st.mach
-	if p.Opts.Fuse && totalTiles(bd.segs) > 1 {
-		prog, err := p.cache.Band(bandConfigFor(p.Chip, p.Opts, bd.segs, kc))
+	if p.Opts.Fuse && totalTiles(bd.Segs) > 1 {
+		prog, err := p.cache.Band(bandConfigFor(p.Chip, p.Opts, bd.Segs, kc))
 		if err != nil {
 			return err
 		}
@@ -359,7 +323,7 @@ func (p *Plan) runBandInterp(st *execState, bd band, kc int, aArg, bArg, cArg in
 		return mach.Run(prog, kernelFuel)
 	}
 	colOff := int64(0)
-	for _, seg := range bd.segs {
+	for _, seg := range bd.Segs {
 		for i := 0; i < seg.Count; i++ {
 			prog, err := p.cache.Kernel(kernelConfigFor(p.Chip, p.Opts, seg.Tile, kc))
 			if err != nil {

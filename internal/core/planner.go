@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"autogemm/internal/cache"
@@ -11,6 +10,7 @@ import (
 	"autogemm/internal/mkernel"
 	"autogemm/internal/perfmodel"
 	"autogemm/internal/plan"
+	"autogemm/internal/plan/audit"
 	"autogemm/internal/sched"
 	"autogemm/internal/tiling"
 )
@@ -205,15 +205,7 @@ func Produce(chip *hw.Chip, m, n, k int, opts Options) (*plan.Plan, error) {
 	hier := cache.NewHierarchy(chip)
 	popt := perfmodel.Opt{Rotate: o.Rotate, Fuse: o.Fuse}
 
-	rec := &plan.Plan{
-		Format:      plan.FormatVersion,
-		Fingerprint: req.Fingerprint(),
-		Request:     req,
-		MC:          o.MC, NC: o.NC, KC: o.KC,
-		Order:  o.Order.String(),
-		Pack:   o.Pack.String(),
-		Source: plan.SourceAuto,
-	}
+	bld := plan.NewBuilder(req, o.MC, o.NC, o.KC, o.Order.String(), o.Pack.String())
 
 	kcTile := min(o.KC, k)
 	mShapes := blockShapes(m, o.MC)
@@ -221,7 +213,6 @@ func Produce(chip *hw.Chip, m, n, k int, opts Options) (*plan.Plan, error) {
 	kShapes := blockShapes(k, o.KC)
 
 	keys := map[mkernel.Key]bool{}
-	tilings := make(map[[2]int]tiling.Tiling)
 	for _, mb := range mShapes {
 		for _, nb := range nShapes {
 			lat := loadLatencyFor(chip, hier, o.Pack, n, nb, kcTile)
@@ -233,20 +224,19 @@ func Produce(chip *hw.Chip, m, n, k int, opts Options) (*plan.Plan, error) {
 			if err := tl.Validate(chip.Lanes); err != nil {
 				return nil, fmt.Errorf("core: strategy %s: %w", strat.Name(), err)
 			}
-			tilings[[2]int{mb, nb}] = tl
 			blk := tl.ToPlanBlock()
 			blk.LoadLatency = lat
 			blk.Cost = tl.Cost(params.WithLoadLatency(float64(lat)), kcTile, popt)
-			rec.Blocks = append(rec.Blocks, blk)
+			bld.AddBlock(blk)
 
 			// Kernel keys for every k-chunk depth this block executes at.
 			for _, kb := range kShapes {
-				for _, bd := range panelBands(tl, chip.Lanes) {
-					if o.Fuse && totalTiles(bd.segs) > 1 {
-						keys[bandConfigFor(chip, o, bd.segs, kb).Key()] = true
+				for _, bd := range tl.Bands(chip.Lanes) {
+					if o.Fuse && totalTiles(bd.Segs) > 1 {
+						keys[bandConfigFor(chip, o, bd.Segs, kb).Key()] = true
 						continue
 					}
-					for _, seg := range bd.segs {
+					for _, seg := range bd.Segs {
 						keys[kernelConfigFor(chip, o, seg.Tile, kb).Key()] = true
 					}
 				}
@@ -255,9 +245,8 @@ func Produce(chip *hw.Chip, m, n, k int, opts Options) (*plan.Plan, error) {
 	}
 
 	for key := range keys {
-		rec.KernelKeys = append(rec.KernelKeys, string(key))
+		bld.AddKernelKey(string(key))
 	}
-	sort.Strings(rec.KernelKeys)
 
 	// Projected cost composed over the block grid: the per-visit Eqn-13
 	// cost of each (m, n) block shape times its visit count across the
@@ -267,11 +256,12 @@ func Produce(chip *hw.Chip, m, n, k int, opts Options) (*plan.Plan, error) {
 		for _, nb := range nShapes {
 			mCnt := gridCount(m, o.MC, mb)
 			nCnt := gridCount(n, o.NC, nb)
-			rec.ModelCycles += rec.Blocks[blockIndex(rec, mb, nb)].Cost *
-				float64(mCnt*nCnt*kChunks)
+			if blk := bld.Block(mb, nb); blk != nil {
+				bld.AddModelCycles(blk.Cost * float64(mCnt*nCnt*kChunks))
+			}
 		}
 	}
-	return rec, nil
+	return bld.Finish()
 }
 
 // gridCount returns how many blocks of extent size a dimension of the
@@ -286,41 +276,29 @@ func gridCount(total, bs, size int) int {
 	return 1 // remainder block
 }
 
-func blockIndex(rec *plan.Plan, mb, nb int) int {
-	for i := range rec.Blocks {
-		if rec.Blocks[i].M == mb && rec.Blocks[i].N == nb {
-			return i
-		}
-	}
-	return 0
-}
-
 // bandConfigFor builds the fused band-kernel configuration for a band
-// at a given k-chunk depth — the single construction point shared by
-// the planner (kernel keys), the executor and the estimator, so plan
-// keys and cache keys cannot drift apart.
+// at a given k-chunk depth. The construction itself lives in mkernel
+// (PlanBandConfig) so the planner, the executor, the estimator and the
+// plan auditor all address identical cache keys.
 func bandConfigFor(chip *hw.Chip, o Options, segs []mkernel.Segment, kb int) mkernel.BandConfig {
-	return mkernel.BandConfig{
-		Segments: segs, KC: kb, Lanes: chip.Lanes,
-		Rotate: o.Rotate, Fuse: true, LoadC: true, SigmaAI: chip.SigmaAI,
-	}
+	return mkernel.PlanBandConfig(segs, kb, chip.Lanes, o.Rotate, chip.SigmaAI)
 }
 
 // kernelConfigFor builds the single-tile kernel configuration for one
-// tile at a given k-chunk depth.
+// tile at a given k-chunk depth; see bandConfigFor.
 func kernelConfigFor(chip *hw.Chip, o Options, t mkernel.Tile, kb int) mkernel.Config {
-	return mkernel.Config{
-		Tile: t, KC: kb, Lanes: chip.Lanes,
-		Rotate: o.Rotate, LoadC: true, SigmaAI: chip.SigmaAI,
-	}
+	return mkernel.PlanKernelConfig(t, kb, chip.Lanes, o.Rotate, chip.SigmaAI)
 }
 
 // Attach binds an executor to a produced (or deserialized) recipe. The
-// recipe must validate and belong to the chip; its tilings are
-// reconstructed and re-validated against the lane width, so a corrupt
-// or stale registry entry is rejected here and the caller falls back to
-// fresh planning. runtime carries only the non-serializable toggles
-// (ForceInterp, a custom Strategy for later re-planning).
+// recipe must validate and belong to the chip; unless runtime marks it
+// TrustedPlan (the in-process produce path), it must additionally pass
+// the static plan audit — coverage, bounds composition and kernel-key
+// consistency are re-proven before any kernel can execute, so a
+// corrupt or tampered registry entry is rejected here and the caller
+// falls back to fresh planning. runtime carries only the
+// non-serializable toggles (ForceInterp, a custom Strategy for later
+// re-planning, TrustedPlan).
 func Attach(chip *hw.Chip, rec *plan.Plan, runtime Options) (*Plan, error) {
 	if chip == nil {
 		return nil, fmt.Errorf("core: nil chip")
@@ -330,6 +308,11 @@ func Attach(chip *hw.Chip, rec *plan.Plan, runtime Options) (*Plan, error) {
 	}
 	if rec.Request.Chip != chip.Name {
 		return nil, fmt.Errorf("core: plan for chip %s attached to %s", rec.Request.Chip, chip.Name)
+	}
+	if !runtime.TrustedPlan {
+		if _, err := audit.Audit(chip, rec, audit.Options{}); err != nil {
+			return nil, err
+		}
 	}
 	// A deserialized recipe is untrusted: reject degenerate or
 	// overflowing geometry here, before it can reach execution where the

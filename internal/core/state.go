@@ -38,20 +38,18 @@ type execState struct {
 	aReg, bReg, cReg int64
 }
 
-// newState sizes the scratch for the plan's largest block. Each buffer
-// carries the documented kernel slack: MaxMR rows of C/A for padded row
-// bands, MaxNROverhang columns for padded tiles, AOverVectors/BOverRows
-// elements beyond k_c for rotation preloads.
+// newState sizes the scratch for the plan's largest block using the
+// shared mkernel.ScratchEnvelope — the same envelope the plan auditor
+// proves every kernel call of a loaded plan fits inside.
 func (p *Plan) newState() *execState {
 	lanes := p.Chip.Lanes
-	mcMax, ncMax, kcMax := p.Opts.MC, quantUp(p.Opts.NC, lanes), p.Opts.KC
-	ld := ncMax + mkernel.MaxNROverhang(lanes)
+	sc := mkernel.ScratchEnvelope(p.Opts.MC, p.Opts.NC, p.Opts.KC, lanes)
 	return &execState{
 		env:    compile.NewEnv(lanes),
-		packA:  make([]float32, (mcMax+mkernel.MaxMR)*kcMax+2*lanes),
-		packB:  make([]float32, (kcMax+2)*ld+2*lanes),
-		cBuf:   make([]float32, (mcMax+mkernel.MaxMR)*ld+2*lanes),
-		cBufLD: ld,
+		packA:  make([]float32, sc.PackA),
+		packB:  make([]float32, sc.PackB),
+		cBuf:   make([]float32, sc.CBuf),
+		cBufLD: sc.LD,
 		aKey:   noKey, bKey: noKey,
 	}
 }

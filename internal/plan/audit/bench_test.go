@@ -1,0 +1,49 @@
+package audit_test
+
+import (
+	"testing"
+
+	"autogemm/internal/core"
+	"autogemm/internal/hw"
+	"autogemm/internal/plan/audit"
+)
+
+// BenchmarkAudit measures the default (arithmetic-only) audit that
+// gates every untrusted Attach. Compare against BenchmarkAttach: the
+// gate must stay a small fraction of the attach it protects, so
+// warm-starting from a registry is not meaningfully slower than
+// trusted attach.
+func BenchmarkAudit(b *testing.B) {
+	chip, err := hw.ByName("KP920")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := core.Produce(chip, 129, 200, 55, core.AutoOptions(chip))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := audit.Audit(chip, rec, audit.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttach is the baseline the audit gate rides on top of.
+func BenchmarkAttach(b *testing.B) {
+	chip, err := hw.ByName("KP920")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := core.Produce(chip, 129, 200, 55, core.AutoOptions(chip))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Attach(chip, rec, core.Options{TrustedPlan: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -31,9 +31,10 @@ func (s Stats) HitRate() float64 {
 // Cache is a sharded, singleflight-deduplicated memoization table keyed
 // by plan fingerprint. Concurrent Get calls for the same key run the
 // build function exactly once; the losers block until it completes and
-// share the result. Both successful values and build errors are
-// memoized — planning is deterministic, so a failed build would fail
-// identically on retry.
+// share the result. Only successful values stay memoized: a failed
+// build propagates its error to every waiter and is then forgotten, so
+// one rejected plan (say, tampered bytes handed to LoadPlan) does not
+// poison its fingerprint against a later good build.
 type Cache[V any] struct {
 	seed   maphash.Seed
 	shards [nShards]cacheShard[V]
@@ -85,6 +86,13 @@ func (c *Cache[V]) Get(key string, build func() (V, error)) (V, error) {
 	c.built.Add(1)
 	e.val, e.err = build()
 	close(e.done)
+	if e.err != nil {
+		s.mu.Lock()
+		if s.m[key] == e {
+			delete(s.m, key)
+		}
+		s.mu.Unlock()
+	}
 	return e.val, e.err
 }
 
@@ -110,8 +118,8 @@ func (c *Cache[V]) Lookup(key string) (V, bool) {
 	return e.val, true
 }
 
-// Len reports how many keys the cache holds (including in-flight and
-// failed builds).
+// Len reports how many keys the cache holds (including in-flight
+// builds; failed builds are evicted when they complete).
 func (c *Cache[V]) Len() int {
 	n := 0
 	for i := range c.shards {

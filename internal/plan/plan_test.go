@@ -225,17 +225,28 @@ func TestCacheSingleflight(t *testing.T) {
 	}
 }
 
-func TestCacheMemoizesErrors(t *testing.T) {
+// TestCacheForgetsErrors: a failed build propagates its error but is
+// not retained — the key stays buildable, so one rejected plan (e.g.
+// tampered LoadPlan bytes) cannot poison its fingerprint against a
+// later good build of the same key.
+func TestCacheForgetsErrors(t *testing.T) {
 	c := NewCache[int]()
 	calls := 0
 	build := func() (int, error) { calls++; return 0, fmt.Errorf("boom") }
-	if _, err := c.Get("bad", build); err == nil {
+	if _, err := c.Get("key", build); err == nil {
 		t.Fatal("error swallowed")
 	}
-	if _, err := c.Get("bad", build); err == nil {
-		t.Fatal("memoized error lost")
+	if c.Len() != 0 {
+		t.Fatalf("failed build retained: Len = %d", c.Len())
+	}
+	v, err := c.Get("key", func() (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("rebuild after failure: %d, %v", v, err)
 	}
 	if calls != 1 {
-		t.Fatalf("build retried %d times", calls)
+		t.Fatalf("failing build ran %d times, want 1", calls)
+	}
+	if v, err := c.Get("key", build); err != nil || v != 42 {
+		t.Fatalf("good value not memoized: %d, %v", v, err)
 	}
 }

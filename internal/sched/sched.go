@@ -77,13 +77,13 @@ type Pool struct {
 	workers int
 	depth   int
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	jobs    []*job // claim frontier: accepted jobs with unclaimed tasks
-	inflight int   // accepted, not yet completed (bounded by depth)
-	started bool
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     []*job // claim frontier: accepted jobs with unclaimed tasks
+	inflight int    // accepted, not yet completed (bounded by depth)
+	started  bool
+	closed   bool
+	wg       sync.WaitGroup
 
 	submitted int64
 	completed int64
@@ -219,6 +219,24 @@ func (f *Future) WaitContext(ctx context.Context) error {
 func (f *Future) TasksStolen() int64 {
 	<-f.j.fin
 	return atomic.LoadInt64(&f.j.stolen)
+}
+
+// Tasks reports the job's task count — the group geometry the caller
+// decomposed the work into. Together with Participants it lets callers
+// (and the plan auditor's tests) cross-check that a submission's
+// decomposition matches the C-tile groups a plan promises: one task per
+// group, so exclusivity of groups implies race-freedom of the job.
+func (f *Future) Tasks() int { return f.j.n }
+
+// Participants reports, after the job completes, how many pool workers
+// actually joined it. Always in [1, min(maxWorkers, pool size)] for a
+// non-empty job; the task-claim cursor guarantees each task ran exactly
+// once regardless of the participant count.
+func (f *Future) Participants() int {
+	<-f.j.fin
+	f.j.pool.mu.Lock()
+	defer f.j.pool.mu.Unlock()
+	return f.j.parts
 }
 
 // Submit enqueues a job of `tasks` independent tasks, each executed as

@@ -117,18 +117,17 @@ func (cp *Program) Precheck(lenA, lenB, lenC int, aOff, bOff, cOff, lda, ldb, ld
 		return fmt.Errorf("%w: %s: negative offset or leading dimension", ErrBounds, cp.Name)
 	}
 	b := &cp.Bounds
-	aRow := int64(b.KC) + int64(b.AOverVectors)*int64(b.Lanes)
-	if aOff+int64(b.MR-1)*lda+aRow > int64(lenA) {
-		return fmt.Errorf("%w: %s: A panel [%d + %d rows × lda %d + %d] exceeds %d elements",
-			ErrBounds, cp.Name, aOff, b.MR, lda, aRow, lenA)
+	if aOff+b.AExtent(lda) > int64(lenA) {
+		return fmt.Errorf("%w: %s: A panel [%d + %d rows × lda %d] exceeds %d elements",
+			ErrBounds, cp.Name, aOff, b.MR, lda, lenA)
 	}
-	if bOff+int64(b.KC+b.BOverRows-1)*ldb+int64(b.NR) > int64(lenB) {
-		return fmt.Errorf("%w: %s: B panel [%d + %d rows × ldb %d + %d] exceeds %d elements",
-			ErrBounds, cp.Name, bOff, b.KC+b.BOverRows, ldb, b.NR, lenB)
+	if bOff+b.BExtent(ldb) > int64(lenB) {
+		return fmt.Errorf("%w: %s: B panel [%d + %d rows × ldb %d] exceeds %d elements",
+			ErrBounds, cp.Name, bOff, b.KC+b.BOverRows, ldb, lenB)
 	}
-	if cOff+int64(b.MR-1)*ldc+int64(b.NR) > int64(lenC) {
-		return fmt.Errorf("%w: %s: C panel [%d + %d rows × ldc %d + %d] exceeds %d elements",
-			ErrBounds, cp.Name, cOff, b.MR, ldc, b.NR, lenC)
+	if cOff+b.CExtent(ldc) > int64(lenC) {
+		return fmt.Errorf("%w: %s: C panel [%d + %d rows × ldc %d] exceeds %d elements",
+			ErrBounds, cp.Name, cOff, b.MR, ldc, lenC)
 	}
 	return nil
 }

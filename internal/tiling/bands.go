@@ -1,0 +1,67 @@
+package tiling
+
+import (
+	"autogemm/internal/mkernel"
+)
+
+// Band is one row strip of a panel: a sequence of tiles of equal height
+// and contiguous columns, executable as a single fused band kernel (or
+// tile by tile when fusion is off). Banding is the seam between a
+// tiling and the kernels that run it: the planner enumerates kernel
+// cache keys from bands, the executor lowers bands to compiled calls,
+// and the plan auditor re-derives both to cross-check a loaded plan —
+// all three must agree, which is why the decomposition lives here.
+type Band struct {
+	MR   int // tile height shared by every segment
+	Row  int // row offset inside the block
+	Col  int // column offset inside the block (lane-aligned)
+	Segs []mkernel.Segment
+}
+
+// Width returns the band's n extent.
+func (b Band) Width() int {
+	w := 0
+	for _, s := range b.Segs {
+		w += s.Tile.NR * s.Count
+	}
+	return w
+}
+
+// Tiles returns the number of micro-tiles the band runs.
+func (b Band) Tiles() int {
+	n := 0
+	for _, s := range b.Segs {
+		n += s.Count
+	}
+	return n
+}
+
+// Bands decomposes the tiling into bands, one per row strip of each
+// panel (different panels split rows differently, so banding is
+// per-panel). The expansion order matches Rects: row-major across the
+// block.
+func (tl Tiling) Bands(lanes int) []Band {
+	var bands []Band
+	rects := tl.Rects(lanes)
+	i := 0
+	for i < len(rects) {
+		j := i
+		segs := []mkernel.Segment{}
+		cur := rects[i]
+		// Collect rects in this row with contiguous columns and equal MR.
+		col := cur.Col
+		for j < len(rects) && rects[j].Row == cur.Row && rects[j].Tile.MR == cur.Tile.MR && rects[j].Col == col {
+			t := rects[j].Tile
+			if n := len(segs); n > 0 && segs[n-1].Tile == t {
+				segs[n-1].Count++
+			} else {
+				segs = append(segs, mkernel.Segment{Tile: t, Count: 1})
+			}
+			col += t.NR
+			j++
+		}
+		bands = append(bands, Band{MR: cur.Tile.MR, Row: cur.Row, Col: cur.Col, Segs: segs})
+		i = j
+	}
+	return bands
+}

@@ -170,8 +170,7 @@ func TunePlan(cfg Config) (*plan.Plan, Result, error) {
 	if err != nil {
 		return nil, res, err
 	}
-	rec.Source = plan.SourceTuner
-	return rec, res, nil
+	return rec.WithSource(plan.SourceTuner), res, nil
 }
 
 // enumerate builds the candidate grid: block extents from the divisor

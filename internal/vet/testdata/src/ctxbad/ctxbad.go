@@ -1,0 +1,35 @@
+// Package ctxbad is a seeded-defect fixture for the ctxfirst analyzer:
+// exported context variants with the context in the wrong position.
+package ctxbad
+
+import "context"
+
+// RunContext takes the context second. // want ctxfirst
+func RunContext(workers int, ctx context.Context) error {
+	_ = workers
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// T is a receiver for the method case.
+type T struct{}
+
+// WaitContext buries the context last. // want ctxfirst
+func (T) WaitContext(a, b int, ctx context.Context) error {
+	_, _ = a, b
+	return ctx.Err()
+}
+
+// Good takes the context first and must NOT be flagged.
+func Good(ctx context.Context, workers int) error {
+	_ = workers
+	return ctx.Err()
+}
+
+// unexported variants are exempt from the convention.
+func helper(n int, ctx context.Context) error {
+	_ = n
+	return ctx.Err()
+}
+
+var _ = helper

@@ -1,0 +1,13 @@
+// Package gobad is a seeded-defect fixture for the goroutine analyzer:
+// it spawns goroutines outside the scheduler runtime.
+package gobad
+
+// Launch fires an untracked goroutine. // want goroutine
+func Launch(done chan struct{}) {
+	go func() { close(done) }()
+}
+
+// LaunchCall spawns via a plain call expression. // want goroutine
+func LaunchCall(f func()) {
+	go f()
+}

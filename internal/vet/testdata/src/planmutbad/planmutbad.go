@@ -1,0 +1,34 @@
+// Package planmutbad is a seeded-defect fixture for the planmut
+// analyzer: every function mutates a published plan through a pointer.
+package planmutbad
+
+import "autogemm/internal/plan"
+
+// TamperAssign overwrites a field of a shared plan.
+func TamperAssign(p *plan.Plan) {
+	p.Source = "evil" // want planmut
+}
+
+// TamperCompound grows the model estimate in place.
+func TamperCompound(p *plan.Plan) {
+	p.ModelCycles += 1 // want planmut
+}
+
+// TamperNested reaches a nested panel through the plan pointer.
+func TamperNested(p *plan.Plan) {
+	p.Blocks[0].Panels[0].Row++ // want planmut
+}
+
+// TamperAlias hands out a mutation capability.
+func TamperAlias(p *plan.Plan) *[]string {
+	return &p.KernelKeys // want planmut
+}
+
+// BuildLocal constructs a plan value locally; field writes on the
+// not-yet-published copy are legitimate and must NOT be flagged.
+func BuildLocal() plan.Block {
+	var b plan.Block
+	b.M = 8
+	b.Panels = append(b.Panels, plan.Panel{M: 8, N: 8, MR: 8, NR: 8})
+	return b
+}

@@ -1,0 +1,10 @@
+// Package unsafebad is a seeded-defect fixture for the unsafeptr
+// analyzer: it imports unsafe outside internal/sim/compile.
+package unsafebad
+
+import "unsafe" // want unsafeptr
+
+// Peek reinterprets a float bit pattern the forbidden way.
+func Peek(f *float32) uint32 {
+	return *(*uint32)(unsafe.Pointer(f))
+}

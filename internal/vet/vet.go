@@ -1,0 +1,256 @@
+// Package vet is a small, dependency-free static-analysis framework
+// for this module's own invariants — the runtime rules that ordinary
+// `go vet` cannot know about:
+//
+//   - plan.Plan values are immutable after construction outside the
+//     plan package (the contract the plan auditor's proofs rest on);
+//   - unsafe.Pointer stays confined to the compiled executor;
+//   - exported context variants take the context first;
+//   - goroutines are only spawned by the scheduler runtime.
+//
+// It deliberately mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf) but is built purely on the standard
+// library: go/parser for syntax and go/types with the source importer
+// for type information, so the module's zero-dependency rule holds for
+// its own tooling too. cmd/autogemm-vet is the driver.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named rule over a typechecked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Skip exempts whole packages by import path (e.g. the package a
+	// confinement rule confines to). Nil skips nothing. Test files are
+	// exempt globally: the loader never parses them.
+	Skip func(pkgPath string) bool
+
+	Run func(*Pass)
+}
+
+// Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	PkgPath  string
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// loader typechecks package directories with a shared file set and a
+// shared (caching) source importer, so a tree sweep typechecks each
+// dependency once.
+type loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+func newLoader() *loader {
+	fset := token.NewFileSet()
+	return &loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// load parses and typechecks the non-test Go files of one directory as
+// package path pkgPath.
+func (l *loader) load(dir, pkgPath string) (*Pass, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("vet: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("vet: typecheck %s: %w", pkgPath, err)
+	}
+	return &Pass{PkgPath: pkgPath, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// runAnalyzers applies every non-skipped analyzer to a loaded package.
+func runAnalyzers(pass *Pass, analyzers []*Analyzer, out *[]Finding) {
+	for _, a := range analyzers {
+		if a.Skip != nil && a.Skip(pass.PkgPath) {
+			continue
+		}
+		p := *pass
+		p.Analyzer = a
+		p.report = func(f Finding) { *out = append(*out, f) }
+		a.Run(&p)
+	}
+}
+
+// RunDir typechecks one package directory under the given import path
+// and applies the analyzers — the entry point tests use to drive
+// seeded-defect fixtures.
+func RunDir(dir, pkgPath string, analyzers []*Analyzer) ([]Finding, error) {
+	pass, err := newLoader().load(dir, pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	if pass == nil {
+		return nil, nil
+	}
+	var out []Finding
+	runAnalyzers(pass, analyzers, &out)
+	sortFindings(out)
+	return out, nil
+}
+
+// ModulePath reads the module path from root's go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("vet: no module line in %s/go.mod", root)
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("vet: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// Run sweeps every package of the module rooted at root (skipping
+// testdata, vendor and hidden directories) through the analyzers and
+// returns the findings sorted by position. Packages that fail to
+// typecheck abort the sweep with an error: the rules are only
+// meaningful on a tree that compiles.
+func Run(root string, analyzers []*Analyzer) ([]Finding, error) {
+	mod, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	var out []Finding
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgPath := mod
+		if rel != "." {
+			pkgPath = mod + "/" + filepath.ToSlash(rel)
+		}
+		pass, err := l.load(dir, pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		if pass == nil {
+			continue
+		}
+		runAnalyzers(pass, analyzers, &out)
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Pos.Filename != fs[j].Pos.Filename {
+			return fs[i].Pos.Filename < fs[j].Pos.Filename
+		}
+		if fs[i].Pos.Line != fs[j].Pos.Line {
+			return fs[i].Pos.Line < fs[j].Pos.Line
+		}
+		return fs[i].Analyzer < fs[j].Analyzer
+	})
+}

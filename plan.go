@@ -73,18 +73,21 @@ func (e *Engine) MultiplyPlanned(p *Plan, c, a, b []float32) error {
 
 // LoadPlan deserializes a plan produced by Encode (or read from a
 // registry file) and attaches it to this engine, entering it into the
-// plan cache under its fingerprint. A plan for a different chip, an
-// older format version, or with corrupted contents is rejected.
+// plan cache under its fingerprint. The decoded plan is untrusted: it
+// must pass the static audit (coverage, bounds composition, kernel-key
+// consistency) before any kernel can execute. A plan for a different
+// chip, an older format version, or with corrupted or tampered
+// contents is rejected with an error matching ErrBadPlan.
 func (e *Engine) LoadPlan(data []byte) (*Plan, error) {
 	rec, err := plan.Decode(data)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrBadPlan, err)
 	}
 	cp, err := e.plans.Get(rec.Fingerprint, func() (*core.Plan, error) {
 		return core.Attach(e.chip, rec, core.Options{Runtime: e.sched})
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrBadPlan, err)
 	}
 	return &Plan{eng: e, p: cp}, nil
 }
@@ -161,6 +164,7 @@ func (e *Engine) planResolved(co core.Options, m, n, k int) (*core.Plan, error) 
 		if err != nil {
 			return nil, err
 		}
+		co.TrustedPlan = true // just produced in-process, no audit needed
 		return core.Attach(e.chip, rec, co)
 	})
 }
