@@ -74,10 +74,12 @@ bench:
 	$(GO) run ./cmd/autogemm-bench -json -tag $(BENCH_TAG) -workers $(BENCH_WORKERS)
 
 # bench-smoke is the fast CI variant: two layers, short measurements,
-# with the scheduler fault drill (panic/error/cancel injection) run
-# against the engine first.
+# with the fault drill (panic/error/cancel injection plus the tiered
+# planner's failed-upgrade containment) run against the engine first.
+# -assert-first-hit holds the tiered cold-serve budget: the run fails
+# if any of the 20 ResNet-50 shapes takes over 500µs to first plan.
 bench-smoke:
-	AUTOGEMM_FAULT=all $(GO) run ./cmd/autogemm-bench -json -tag smoke -layers L16,L20 -mintime 50ms
+	AUTOGEMM_FAULT=all $(GO) run ./cmd/autogemm-bench -json -tag smoke -layers L16,L20 -mintime 50ms -assert-first-hit 500
 	@rm -f BENCH_smoke.json
 
 clean:

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"autogemm/internal/asm"
 	"autogemm/internal/baselines"
@@ -110,6 +112,18 @@ type Engine struct {
 	sched    *sched.Pool
 
 	workers, depth int // construction-time pool configuration
+
+	// Tiered planning state (see tiered.go). upgrading tracks the
+	// fingerprints with a background upgrade in flight; each maps to a
+	// channel closed when that upgrade settles.
+	mode      PlanMode
+	upMu      sync.Mutex
+	upgrading map[string]chan struct{}
+
+	heuristicServed   atomic.Int64
+	upgradesCompleted atomic.Int64
+	upgradesFailed    atomic.Int64
+	neighborSeeded    atomic.Int64
 }
 
 // EngineOption configures an Engine at construction.
@@ -151,9 +165,16 @@ func New(chipName string, opts ...EngineOption) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{chip: chip, plans: plan.NewCache[*core.Plan]()}
+	e := &Engine{
+		chip:      chip,
+		plans:     plan.NewCache[*core.Plan](),
+		upgrading: make(map[string]chan struct{}),
+	}
 	if dir := os.Getenv("AUTOGEMM_PLAN_DIR"); dir != "" {
 		e.registry = plan.NewRegistry(dir)
+	}
+	if mode := os.Getenv("AUTOGEMM_PLAN_MODE"); mode != "" {
+		e.mode = PlanMode(mode)
 	}
 	for _, o := range opts {
 		o(e)

@@ -8,6 +8,7 @@
 //	autogemm-bench -json -tag local            # engine GFLOP/s -> BENCH_local.json
 //	autogemm-bench -json -tag local -workers 1,2,4
 //	autogemm-bench -json -tag smoke -layers L16,L20 -mintime 100ms
+//	autogemm-bench -json -tag local -assert-first-hit 500    # fail if any tiered first hit > 500µs
 package main
 
 import (
@@ -30,10 +31,11 @@ func main() {
 	layers := flag.String("layers", "", "comma-separated ResNet-50 layer subset for -json (default: all)")
 	workers := flag.String("workers", "", "comma-separated worker counts for -json (default: powers of two up to NumCPU)")
 	minTime := flag.Duration("mintime", 300*time.Millisecond, "minimum measurement time per -json data point")
+	assertFirstHit := flag.Float64("assert-first-hit", 0, "fail -json if any tiered-mode plan first hit exceeds this many microseconds, measured over all ResNet-50 shapes (0 disables)")
 	flag.Parse()
 
 	if *jsonBench {
-		if err := runJSONBench(*tag, *chip, *layers, *workers, *minTime); err != nil {
+		if err := runJSONBench(*tag, *chip, *layers, *workers, *minTime, *assertFirstHit); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -19,10 +19,16 @@ type line struct {
 	valid bool
 }
 
-// level is one set-associative cache level.
+// level is one set-associative cache level. The LRU state (sets) is
+// allocated lazily on the first access: the analytic planners query
+// only the level geometry (ResidencyLevel / LatencyOfLevel), and eager
+// allocation of a many-megabyte L3's line array dominated the planner's
+// cold latency — exactly the cliff tiered planning exists to remove.
+// Only the cycle-accurate simulator actually touches lines.
 type level struct {
 	spec     hw.CacheSpec
 	sets     [][]line
+	numSets  int
 	setShift uint
 	setMask  uint64
 	clock    uint64
@@ -41,15 +47,11 @@ func newLevel(spec hw.CacheSpec) *level {
 	for numSets&(numSets-1) != 0 {
 		numSets--
 	}
-	sets := make([][]line, numSets)
-	for i := range sets {
-		sets[i] = make([]line, spec.Ways)
-	}
 	shift := uint(0)
 	for 1<<shift < spec.LineBytes {
 		shift++
 	}
-	return &level{spec: spec, sets: sets, setShift: shift, setMask: uint64(numSets - 1)}
+	return &level{spec: spec, numSets: numSets, setShift: shift, setMask: uint64(numSets - 1)}
 }
 
 // access looks the address up, returning true on hit, and installs the
@@ -57,7 +59,14 @@ func newLevel(spec hw.CacheSpec) *level {
 func (l *level) access(addr uint64) bool {
 	l.clock++
 	tag := addr >> l.setShift
+	if l.sets == nil {
+		l.sets = make([][]line, l.numSets)
+	}
 	set := l.sets[tag&l.setMask]
+	if set == nil {
+		set = make([]line, l.spec.Ways)
+		l.sets[tag&l.setMask] = set
+	}
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].stamp = l.clock

@@ -183,13 +183,30 @@ func loadLatencyFor(chip *hw.Chip, hier *cache.Hierarchy, pack PackMode, nTotal,
 	return hier.LatencyOfLevel(hier.ResidencyLevel(ws))
 }
 
-// Produce plans a problem from scratch and returns the immutable,
-// serializable recipe: resolved blocking, the tiling of every distinct
-// block shape (each tiled at the load latency its residency implies),
-// the kernel keys execution will request, and the Eqn-13 projected
-// cost. Produce never touches the simulator — it is the cheap analytic
-// half of planning; the tuner's search sits on top of it.
-func Produce(chip *hw.Chip, m, n, k int, opts Options) (*plan.Plan, error) {
+// produceEnv is the resolved planning context every producer shares —
+// the synchronous Produce, the tier-0 ProduceHeuristic and the
+// background SubmitProduce differ only in *how* each distinct block
+// shape gets tiled; everything around that (request, resolved options,
+// model parameters, residency latencies, kernel-key enumeration, cost
+// composition) is identical and lives here so the three paths cannot
+// drift apart.
+type produceEnv struct {
+	chip    *hw.Chip
+	m, n, k int
+	req     plan.Request
+	o       Options
+	params  perfmodel.Params
+	hier    *cache.Hierarchy
+	popt    perfmodel.Opt
+	kcTile  int
+	mShapes []int
+	nShapes []int
+	kShapes []int
+}
+
+// newProduceEnv validates the problem and resolves the planning
+// context.
+func newProduceEnv(chip *hw.Chip, m, n, k int, opts Options) (*produceEnv, error) {
 	if chip == nil {
 		return nil, fmt.Errorf("core: nil chip")
 	}
@@ -199,45 +216,60 @@ func Produce(chip *hw.Chip, m, n, k int, opts Options) (*plan.Plan, error) {
 	if err := checkGeometry(m, n, k); err != nil {
 		return nil, err
 	}
-	req := RequestOf(chip, m, n, k, opts)
 	o := resolveOptions(chip, m, n, k, opts)
-	params := perfmodel.FromChip(chip)
-	hier := cache.NewHierarchy(chip)
-	popt := perfmodel.Opt{Rotate: o.Rotate, Fuse: o.Fuse}
+	return &produceEnv{
+		chip: chip, m: m, n: n, k: k,
+		req:     RequestOf(chip, m, n, k, opts),
+		o:       o,
+		params:  perfmodel.FromChip(chip),
+		hier:    cache.NewHierarchy(chip),
+		popt:    perfmodel.Opt{Rotate: o.Rotate, Fuse: o.Fuse},
+		kcTile:  min(o.KC, k),
+		mShapes: blockShapes(m, o.MC),
+		nShapes: blockShapes(n, o.NC),
+		kShapes: blockShapes(k, o.KC),
+	}, nil
+}
 
-	bld := plan.NewBuilder(req, o.MC, o.NC, o.KC, o.Order.String(), o.Pack.String())
+// latFor derives the residency load latency of a block column width.
+func (e *produceEnv) latFor(nb int) int {
+	return loadLatencyFor(e.chip, e.hier, e.o.Pack, e.n, nb, e.kcTile)
+}
 
-	kcTile := min(o.KC, k)
-	mShapes := blockShapes(m, o.MC)
-	nShapes := blockShapes(n, o.NC)
-	kShapes := blockShapes(k, o.KC)
+// build assembles the full plan given a per-block tiling function:
+// tile is called once per distinct (mb, nb) block shape with its
+// residency latency and returns the block's panel cover. The rest —
+// kernel keys for every k-chunk depth, the Eqn-13 cost composed over
+// the block grid — is shared verbatim across producers.
+func (e *produceEnv) build(source string, tile func(mb, nb, lat int) (tiling.Tiling, error)) (*plan.Plan, error) {
+	bld := plan.NewBuilder(e.req, e.o.MC, e.o.NC, e.o.KC, e.o.Order.String(), e.o.Pack.String())
+	bld.SetSource(source)
 
 	keys := map[mkernel.Key]bool{}
-	for _, mb := range mShapes {
-		for _, nb := range nShapes {
-			lat := loadLatencyFor(chip, hier, o.Pack, n, nb, kcTile)
-			strat := tilerFor(o, params, lat)
-			tl, err := strat.Tile(mb, nb, kcTile)
+	for _, mb := range e.mShapes {
+		for _, nb := range e.nShapes {
+			lat := e.latFor(nb)
+			tl, err := tile(mb, nb, lat)
 			if err != nil {
 				return nil, err
 			}
-			if err := tl.Validate(chip.Lanes); err != nil {
-				return nil, fmt.Errorf("core: strategy %s: %w", strat.Name(), err)
+			if err := tl.Validate(e.chip.Lanes); err != nil {
+				return nil, fmt.Errorf("core: strategy %s: %w", tl.Strategy, err)
 			}
 			blk := tl.ToPlanBlock()
 			blk.LoadLatency = lat
-			blk.Cost = tl.Cost(params.WithLoadLatency(float64(lat)), kcTile, popt)
+			blk.Cost = tl.Cost(e.params.WithLoadLatency(float64(lat)), e.kcTile, e.popt)
 			bld.AddBlock(blk)
 
 			// Kernel keys for every k-chunk depth this block executes at.
-			for _, kb := range kShapes {
-				for _, bd := range tl.Bands(chip.Lanes) {
-					if o.Fuse && totalTiles(bd.Segs) > 1 {
-						keys[bandConfigFor(chip, o, bd.Segs, kb).Key()] = true
+			for _, kb := range e.kShapes {
+				for _, bd := range tl.Bands(e.chip.Lanes) {
+					if e.o.Fuse && totalTiles(bd.Segs) > 1 {
+						keys[bandConfigFor(e.chip, e.o, bd.Segs, kb).Key()] = true
 						continue
 					}
 					for _, seg := range bd.Segs {
-						keys[kernelConfigFor(chip, o, seg.Tile, kb).Key()] = true
+						keys[kernelConfigFor(e.chip, e.o, seg.Tile, kb).Key()] = true
 					}
 				}
 			}
@@ -251,17 +283,134 @@ func Produce(chip *hw.Chip, m, n, k int, opts Options) (*plan.Plan, error) {
 	// Projected cost composed over the block grid: the per-visit Eqn-13
 	// cost of each (m, n) block shape times its visit count across the
 	// k chunks — the analytic figure the tuner prunes with.
-	kChunks := (k + o.KC - 1) / o.KC
-	for _, mb := range mShapes {
-		for _, nb := range nShapes {
-			mCnt := gridCount(m, o.MC, mb)
-			nCnt := gridCount(n, o.NC, nb)
+	kChunks := (e.k + e.o.KC - 1) / e.o.KC
+	for _, mb := range e.mShapes {
+		for _, nb := range e.nShapes {
+			mCnt := gridCount(e.m, e.o.MC, mb)
+			nCnt := gridCount(e.n, e.o.NC, nb)
 			if blk := bld.Block(mb, nb); blk != nil {
 				bld.AddModelCycles(blk.Cost * float64(mCnt*nCnt*kChunks))
 			}
 		}
 	}
 	return bld.Finish()
+}
+
+// Produce plans a problem from scratch and returns the immutable,
+// serializable recipe: resolved blocking, the tiling of every distinct
+// block shape (each tiled at the load latency its residency implies),
+// the kernel keys execution will request, and the Eqn-13 projected
+// cost. Produce never touches the simulator — it is the cheap analytic
+// half of planning; the tuner's search sits on top of it.
+func Produce(chip *hw.Chip, m, n, k int, opts Options) (*plan.Plan, error) {
+	e, err := newProduceEnv(chip, m, n, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.build(plan.SourceAuto, func(mb, nb, lat int) (tiling.Tiling, error) {
+		return tilerFor(e.o, e.params, lat).Tile(mb, nb, e.kcTile)
+	})
+}
+
+// ProduceHeuristic is the tier-0 producer: the same request, resolved
+// blocking, kernel keys and cost composition as Produce, but each block
+// is covered by the single-panel Heuristic tiler instead of the DMT
+// dynamic program — O(#candidates) per block, microseconds where the
+// full search takes tens of milliseconds. The plan answers the same
+// fingerprint as Produce's (Source is not fingerprinted), is tagged
+// plan.SourceHeuristic, and passes the same audit gate; the tiered
+// engine serves it instantly on a cold miss while the full plan builds
+// in the background. A custom non-DMT strategy is already O(1), so it
+// is used as-is (the plan is still tagged heuristic — it took the
+// instant path).
+func ProduceHeuristic(chip *hw.Chip, m, n, k int, opts Options) (*plan.Plan, error) {
+	e, err := newProduceEnv(chip, m, n, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.build(plan.SourceHeuristic, func(mb, nb, lat int) (tiling.Tiling, error) {
+		strat := tilerFor(e.o, e.params, lat)
+		if d, ok := strat.(*tiling.DMT); ok {
+			strat = &tiling.Heuristic{DMT: *d}
+		}
+		return strat.Tile(mb, nb, e.kcTile)
+	})
+}
+
+// SubmitProduce plans a problem in the background on a sched pool and
+// produces the same plan Produce would, bit for bit: the DMT dynamic
+// program of every distinct block shape is opened as a tiling.Search
+// and its memo rows are fanned out as independent pool tasks, then the
+// completion hook finishes the searches and assembles the plan through
+// the shared build path. onDone receives the finished plan or the
+// first error; it runs on the pool's completion goroutine, never on a
+// serving thread. SubmitProduce never blocks: when the pool is at its
+// in-flight depth it returns sched.ErrBusy without enqueuing anything,
+// and the caller retries later.
+func SubmitProduce(pool *sched.Pool, chip *hw.Chip, m, n, k int, opts Options, onDone func(*plan.Plan, error)) error {
+	if pool == nil {
+		return fmt.Errorf("core: nil pool")
+	}
+	if onDone == nil {
+		return fmt.Errorf("core: nil completion hook")
+	}
+	e, err := newProduceEnv(chip, m, n, k, opts)
+	if err != nil {
+		return err
+	}
+
+	// One Search per distinct DMT-tiled block shape. Static strategies
+	// have nothing to parallelize and tile inline at assembly.
+	type blockKey struct{ mb, nb int }
+	searches := map[blockKey]*tiling.Search{}
+	type rowChunk struct {
+		s      *tiling.Search
+		lo, hi int
+	}
+	var chunks []rowChunk
+	for _, mb := range e.mShapes {
+		for _, nb := range e.nShapes {
+			d, ok := tilerFor(e.o, e.params, e.latFor(nb)).(*tiling.DMT)
+			if !ok {
+				continue
+			}
+			s, err := d.NewSearch(mb, nb, e.kcTile)
+			if err != nil {
+				return err
+			}
+			searches[blockKey{mb, nb}] = s
+			rows := s.Rows()
+			per := (rows + pool.Workers() - 1) / pool.Workers()
+			if per < 16 {
+				per = 16 // don't shred tiny blocks into claim overhead
+			}
+			for lo := 0; lo < rows; lo += per {
+				chunks = append(chunks, rowChunk{s: s, lo: lo, hi: min(lo+per, rows)})
+			}
+		}
+	}
+
+	fut, err := pool.TrySubmit(len(chunks), 0, func(_ *sched.Worker, i int) error {
+		chunks[i].s.FillRows(chunks[i].lo, chunks[i].hi)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fut.OnDone(func(jobErr error) {
+		if jobErr != nil {
+			onDone(nil, jobErr)
+			return
+		}
+		p, err := e.build(plan.SourceAuto, func(mb, nb, lat int) (tiling.Tiling, error) {
+			if s := searches[blockKey{mb, nb}]; s != nil {
+				return s.Finish()
+			}
+			return tilerFor(e.o, e.params, lat).Tile(mb, nb, e.kcTile)
+		})
+		onDone(p, err)
+	})
+	return nil
 }
 
 // gridCount returns how many blocks of extent size a dimension of the

@@ -2,6 +2,7 @@ package mkernel
 
 import (
 	"fmt"
+	"strconv"
 
 	"autogemm/internal/asm"
 )
@@ -34,22 +35,34 @@ type BandConfig struct {
 	SkipAnalysis bool
 }
 
-// Name returns a stable identifier for the band variant.
+// Name returns a stable identifier for the band variant. It is built
+// with a single append buffer rather than fmt: the planner derives one
+// Key per band per candidate block, and fmt-based formatting dominated
+// the planner's per-block cost.
 func (c BandConfig) Name() string {
-	s := fmt.Sprintf("band_k%d_l%d", c.KC, c.Lanes)
+	b := make([]byte, 0, 64)
+	b = append(b, "band_k"...)
+	b = strconv.AppendInt(b, int64(c.KC), 10)
+	b = append(b, "_l"...)
+	b = strconv.AppendInt(b, int64(c.Lanes), 10)
 	for _, seg := range c.Segments {
-		s += fmt.Sprintf("_%dx%dx%d", seg.Tile.MR, seg.Tile.NR, seg.Count)
+		b = append(b, '_')
+		b = strconv.AppendInt(b, int64(seg.Tile.MR), 10)
+		b = append(b, 'x')
+		b = strconv.AppendInt(b, int64(seg.Tile.NR), 10)
+		b = append(b, 'x')
+		b = strconv.AppendInt(b, int64(seg.Count), 10)
 	}
 	if c.Rotate {
-		s += "_rot"
+		b = append(b, "_rot"...)
 	}
 	if c.Fuse {
-		s += "_fuse"
+		b = append(b, "_fuse"...)
 	}
 	if !c.LoadC {
-		s += "_bz"
+		b = append(b, "_bz"...)
 	}
-	return s
+	return string(b)
 }
 
 // MR returns the band height, validating that all segments agree.

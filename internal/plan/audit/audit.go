@@ -233,7 +233,7 @@ func (a *auditor) checkStructure() error {
 		return failf(CheckStructure, "unknown packing mode %q", p.Pack)
 	}
 	switch p.Source {
-	case plan.SourceAuto, plan.SourceTuner:
+	case plan.SourceAuto, plan.SourceTuner, plan.SourceHeuristic:
 	default:
 		return failf(CheckStructure, "unknown plan source %q", p.Source)
 	}

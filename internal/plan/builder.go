@@ -33,6 +33,13 @@ func NewBuilder(req Request, mc, nc, kc int, order, pack string) *Builder {
 // AddBlock appends the resolved tiling of one distinct block shape.
 func (b *Builder) AddBlock(blk Block) { b.p.Blocks = append(b.p.Blocks, blk) }
 
+// SetSource labels the plan under construction with its producer
+// ("auto", "tuner" or "heuristic"). Source is not part of the
+// fingerprint: a heuristic tier-0 plan answers the same request — and
+// lives under the same cache key — as the full plan that later
+// replaces it.
+func (b *Builder) SetSource(source string) { b.p.Source = source }
+
 // Block returns the tiling already added for a block shape, or nil —
 // the producer's cost composition reads back what it appended.
 func (b *Builder) Block(m, n int) *Block { return b.p.Block(m, n) }

@@ -118,6 +118,23 @@ func (c *Cache[V]) Lookup(key string) (V, bool) {
 	return e.val, true
 }
 
+// Replace publishes val as the completed value for key, replacing any
+// existing entry — the hot-swap the tiered planner uses to upgrade a
+// heuristic tier-0 plan to the fully tuned one. Waiters already joined
+// to the old entry keep the value they were promised (the entry they
+// hold is untouched); every Get and Lookup after Replace returns val.
+// In-flight executions holding the old value are unaffected: values
+// are immutable from the cache's point of view, so a swap can never
+// corrupt a caller mid-use.
+func (c *Cache[V]) Replace(key string, val V) {
+	e := &cacheEntry[V]{done: make(chan struct{}), val: val}
+	close(e.done)
+	s := c.shard(key)
+	s.mu.Lock()
+	s.m[key] = e
+	s.mu.Unlock()
+}
+
 // Len reports how many keys the cache holds (including in-flight
 // builds; failed builds are evicted when they complete).
 func (c *Cache[V]) Len() int {

@@ -1,0 +1,224 @@
+package plan
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The registry index is a sidecar file (index.json) mapping every
+// stored fingerprint to the plan.Request it answers, so shape-aware
+// lookups — above all the tiered planner's nearest-neighbor warm-start
+// — never have to decode every plan in the directory. It is an
+// accelerator, not a source of truth: a missing, stale or corrupt
+// index is rebuilt from the plan files themselves, and registries
+// written before the index existed migrate transparently the first
+// time they are read.
+
+// indexName is the sidecar file inside the registry directory.
+const indexName = "index.json"
+
+// IndexEntry describes one stored plan: its fingerprint and the
+// request (chip, shape, options) that fingerprint was derived from.
+type IndexEntry struct {
+	Fingerprint string  `json:"fingerprint"`
+	Request     Request `json:"request"`
+	Source      string  `json:"source"`
+}
+
+// indexFile is the serialized sidecar. Format mirrors FormatVersion so
+// an index written by an incompatible build is rebuilt, not trusted.
+type indexFile struct {
+	Format  int          `json:"format"`
+	Entries []IndexEntry `json:"entries"`
+}
+
+// indexPath returns the sidecar location.
+func (r *Registry) indexPath() string { return filepath.Join(r.dir, indexName) }
+
+// readIndex parses the sidecar; any failure (absent file, bad JSON,
+// format skew) reports ok=false so the caller rebuilds.
+func (r *Registry) readIndex() (map[string]IndexEntry, bool) {
+	data, err := os.ReadFile(r.indexPath())
+	if err != nil {
+		return nil, false
+	}
+	var f indexFile
+	if err := json.Unmarshal(data, &f); err != nil || f.Format != FormatVersion {
+		return nil, false
+	}
+	m := make(map[string]IndexEntry, len(f.Entries))
+	for _, e := range f.Entries {
+		m[e.Fingerprint] = e
+	}
+	return m, true
+}
+
+// writeIndex persists the entry map atomically (temp file + rename),
+// sorted by fingerprint so the file is diff-stable.
+func (r *Registry) writeIndex(m map[string]IndexEntry) error {
+	f := indexFile{Format: FormatVersion}
+	for _, e := range m {
+		f.Entries = append(f.Entries, e)
+	}
+	sort.Slice(f.Entries, func(i, j int) bool {
+		return f.Entries[i].Fingerprint < f.Entries[j].Fingerprint
+	})
+	data, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(r.dir, "."+indexName+".*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return os.Rename(tmpName, r.indexPath())
+}
+
+// RebuildIndex scans every plan file in the registry, decodes it, and
+// writes a fresh sidecar from scratch — the migration path for
+// registries baked before the index existed and the repair path for a
+// sidecar that lost entries to a concurrent writer. Undecodable files
+// are skipped (Load rejects them anyway); an empty registry yields an
+// empty index.
+func (r *Registry) RebuildIndex() (map[string]IndexEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rebuildIndexLocked()
+}
+
+func (r *Registry) rebuildIndexLocked() (map[string]IndexEntry, error) {
+	fps, err := r.List()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]IndexEntry, len(fps))
+	for _, fp := range fps {
+		p, err := r.Load(fp)
+		if err != nil {
+			continue
+		}
+		m[fp] = IndexEntry{Fingerprint: fp, Request: p.Request, Source: p.Source}
+	}
+	if err := r.writeIndex(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Index returns the registry's entry map, rebuilding the sidecar from
+// the plan files when it is missing, unreadable, or from another
+// format version.
+func (r *Registry) Index() (map[string]IndexEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.readIndex(); ok {
+		return m, nil
+	}
+	return r.rebuildIndexLocked()
+}
+
+// updateIndex folds one stored plan into the sidecar. Called under
+// r.mu by Store; a concurrent writer in another process can still race
+// the read-modify-write and drop an entry, which is tolerable — the
+// index is advisory and RebuildIndex restores it.
+func (r *Registry) updateIndex(p *Plan) error {
+	m, ok := r.readIndex()
+	if !ok {
+		m = map[string]IndexEntry{}
+	}
+	m[p.Fingerprint] = IndexEntry{Fingerprint: p.Fingerprint, Request: p.Request, Source: p.Source}
+	return r.writeIndex(m)
+}
+
+// shapeDistance is the log-space L1 distance between two problem
+// shapes — scale-free, so 64→128 is as far as 1024→2048 and a
+// tall-skinny neighbor is not dominated by its largest extent.
+func shapeDistance(a, b Request) float64 {
+	d := func(x, y int) float64 {
+		return math.Abs(math.Log(float64(x)) - math.Log(float64(y)))
+	}
+	return d(a.M, b.M) + d(a.N, b.N) + d(a.K, b.K)
+}
+
+// Nearest returns the indexed entry most similar in shape to req among
+// plans for the same chip and planning configuration (tiler, rotate,
+// fuse), excluding req's own fingerprint — the donor a new shape's DMT
+// search warm-starts from. ok is false when no comparable neighbor is
+// stored.
+func (r *Registry) Nearest(req Request) (IndexEntry, bool) {
+	m, err := r.Index()
+	if err != nil {
+		return IndexEntry{}, false
+	}
+	self := req.Fingerprint()
+	best, bestDist := IndexEntry{}, math.Inf(1)
+	found := false
+	for _, e := range m {
+		if e.Fingerprint == self {
+			continue
+		}
+		er := e.Request
+		if er.Chip != req.Chip || er.Tiler != req.Tiler ||
+			er.Rotate != req.Rotate || er.Fuse != req.Fuse {
+			continue
+		}
+		if er.M <= 0 || er.N <= 0 || er.K <= 0 {
+			continue
+		}
+		if d := shapeDistance(er, req); d < bestDist {
+			best, bestDist, found = e, d, true
+		}
+	}
+	return best, found
+}
+
+// NeighborTiles loads the nearest neighbor's plan and returns the
+// distinct register-tile shapes (MR, NR) of its panels — the seed
+// candidate set a warm-started DMT search explores first. ok is false
+// when there is no neighbor or its plan no longer loads.
+func (r *Registry) NeighborTiles(req Request) (tiles [][2]int, donor string, ok bool) {
+	e, found := r.Nearest(req)
+	if !found {
+		return nil, "", false
+	}
+	p, err := r.Load(e.Fingerprint)
+	if err != nil {
+		return nil, "", false
+	}
+	seen := map[[2]int]bool{}
+	for _, blk := range p.Blocks {
+		for _, pn := range blk.Panels {
+			t := [2]int{pn.MR, pn.NR}
+			if t[0] > 0 && t[1] > 0 && !seen[t] {
+				seen[t] = true
+				tiles = append(tiles, t)
+			}
+		}
+	}
+	if len(tiles) == 0 {
+		return nil, "", false
+	}
+	sort.Slice(tiles, func(i, j int) bool {
+		if tiles[i][0] != tiles[j][0] {
+			return tiles[i][0] < tiles[j][0]
+		}
+		return tiles[i][1] < tiles[j][1]
+	})
+	return tiles, e.Fingerprint, true
+}

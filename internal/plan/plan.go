@@ -35,8 +35,9 @@ const FormatVersion = 1
 
 // Plan sources.
 const (
-	SourceAuto  = "auto"  // model-default planning (core.Produce)
-	SourceTuner = "tuner" // winner of a tuner search
+	SourceAuto      = "auto"      // model-default planning (core.Produce)
+	SourceTuner     = "tuner"     // winner of a tuner search
+	SourceHeuristic = "heuristic" // instant tier-0 recipe (core.ProduceHeuristic)
 )
 
 // Request captures the planning inputs exactly as the caller supplied

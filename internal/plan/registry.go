@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Registry is an on-disk plan store: one JSON file per plan, named by
@@ -17,10 +18,18 @@ import (
 //
 // Writes are atomic (temp file + rename), so a registry can be rebuilt
 // while serving processes read it. Concurrent Store calls for the same
-// fingerprint are idempotent: the content is a pure function of the
-// fingerprint.
+// fingerprint are safe: writers race on an atomic rename, and every
+// stored plan answers the same request — a later Store may replace a
+// tier-0 heuristic plan with the fully tuned one, but never with a
+// plan for a different fingerprint.
+//
+// Alongside the plan files the registry keeps a shape index
+// (index.json, see index.go) so nearest-neighbor lookups need not
+// decode every plan; mu serializes this process's read-modify-write
+// of that sidecar.
 type Registry struct {
 	dir string
+	mu  sync.Mutex
 }
 
 // NewRegistry returns a registry over dir. The directory is created
@@ -61,8 +70,21 @@ func (r *Registry) Load(fp string) (*Plan, error) {
 	return p, nil
 }
 
-// Store writes a plan into the registry atomically.
+// Store writes a plan into the registry atomically and folds it into
+// the shape index. Index maintenance is best-effort: the plan file is
+// the source of truth, and a torn index rebuilds on next read.
 func (r *Registry) Store(p *Plan) error {
+	if err := r.storeFile(p); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	_ = r.updateIndex(p)
+	r.mu.Unlock()
+	return nil
+}
+
+// storeFile writes just the plan file, atomically.
+func (r *Registry) storeFile(p *Plan) error {
 	data, err := p.Encode()
 	if err != nil {
 		return err
@@ -91,7 +113,8 @@ func (r *Registry) Store(p *Plan) error {
 	return os.Rename(tmpName, path)
 }
 
-// List returns the fingerprints present in the registry, sorted.
+// List returns the fingerprints present in the registry, sorted. The
+// index sidecar is not a plan and is excluded.
 func (r *Registry) List() ([]string, error) {
 	entries, err := os.ReadDir(r.dir)
 	if err != nil {
@@ -103,7 +126,8 @@ func (r *Registry) List() ([]string, error) {
 	var fps []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") ||
+			name == indexName {
 			continue
 		}
 		fps = append(fps, strings.TrimSuffix(name, ".json"))

@@ -52,6 +52,12 @@ var ErrPanicked = errors.New("sched: task panicked")
 // drain deadline expires with jobs still running.
 var ErrDrainTimeout = errors.New("sched: drain timed out")
 
+// ErrBusy is returned by TrySubmit when the pool is at its in-flight
+// depth. Best-effort callers (the tiered planner's background upgrade)
+// treat it as "not now" and retry later instead of blocking a serving
+// path on planner backpressure.
+var ErrBusy = errors.New("sched: pool busy")
+
 // PanicError is the job error produced when a task panics: the panic is
 // recovered inside the worker (which survives and keeps serving other
 // jobs), the job fails, and its future returns this error. It unwraps
@@ -239,6 +245,24 @@ func (f *Future) Participants() int {
 	return f.j.parts
 }
 
+// OnDone invokes fn with the job's first task error once the job
+// completes, without the caller having to park a goroutine on Wait —
+// the continuation hook asynchronous submitters (the background plan
+// upgrade) chain completion work on. fn runs exactly once, on a
+// dedicated goroutine owned by the pool runtime, never inside a worker
+// — so it may submit follow-up jobs, lock caller state, or run for a
+// while without stalling task execution. A task error or contained
+// panic reaches fn as the error; fn observing nil means every task
+// ran. Note that OnDone fires even on a job whose remaining tasks were
+// skipped after a failure — exactly the case a continuation must see
+// to run its error path.
+func (f *Future) OnDone(fn func(error)) {
+	go func() {
+		<-f.j.fin
+		fn(f.Wait())
+	}()
+}
+
 // Submit enqueues a job of `tasks` independent tasks, each executed as
 // run(worker, i), with at most maxWorkers pool workers participating
 // (<= 0 means all). Tasks are claimed in ascending index order; with
@@ -309,6 +333,49 @@ func (p *Pool) SubmitContext(ctx context.Context, tasks, maxWorkers int, run fun
 		p.mu.Unlock()
 		return nil, err
 	}
+	p.submitted++
+	p.inflight++
+	if p.inflight > p.highWater {
+		p.highWater = p.inflight
+	}
+	if tasks == 0 {
+		p.inflight--
+		p.completed++
+		p.mu.Unlock()
+		close(j.fin)
+		return &Future{j}, nil
+	}
+	j.listed = true
+	p.jobs = append(p.jobs, j)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return &Future{j}, nil
+}
+
+// TrySubmit is Submit without the backpressure wait: when the pool is
+// at its in-flight depth it fails immediately with ErrBusy instead of
+// blocking. Everything else matches Submit. It exists for best-effort
+// background work — a caller serving a latency-sensitive request must
+// never park behind the queue just to schedule an optimization.
+func (p *Pool) TrySubmit(tasks, maxWorkers int, run func(w *Worker, task int) error) (*Future, error) {
+	if tasks < 0 {
+		return nil, fmt.Errorf("sched: negative task count %d", tasks)
+	}
+	if maxWorkers <= 0 || maxWorkers > p.workers {
+		maxWorkers = p.workers
+	}
+	j := &job{pool: p, ctx: context.Background(), n: tasks, max: maxWorkers, run: run, fin: make(chan struct{})}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if p.inflight >= p.depth {
+		p.mu.Unlock()
+		return nil, ErrBusy
+	}
+	p.startLocked()
 	p.submitted++
 	p.inflight++
 	if p.inflight > p.highWater {

@@ -83,63 +83,129 @@ type panelChoice struct {
 	tile mkernel.Tile
 }
 
-// Tile implements Strategy.
-func (d *DMT) Tile(m, n, kc int) (Tiling, error) {
+// candidates returns the tile set T(m', n') minimizes over: the
+// explicit restriction when one is set, otherwise every generatable
+// tile (subject to the rotation register-slack rule).
+func (d *DMT) candidates() []mkernel.Tile {
+	if d.Candidates != nil {
+		return d.Candidates
+	}
+	var cands []mkernel.Tile
+	lanes := d.Params.Lanes
+	for _, t := range mkernel.FeasibleTiles(lanes) {
+		if !t.Generatable(lanes) {
+			continue
+		}
+		// With rotation enabled, reserve spare registers for the
+		// rotated A/B buffers (the reason Table II excludes shapes
+		// like 7×12 that fill the register file exactly): a tile with
+		// no slack cannot pipeline and stalls on every reload.
+		if d.Opt.Rotate && t.RegistersNeeded(lanes) > 30 {
+			continue
+		}
+		cands = append(cands, t)
+	}
+	return cands
+}
+
+// bestTile is Algorithm 1's inner T(m', n'): the cheapest uniform cover
+// of an mm×nn panel over the candidate set, falling back to the
+// smallest strip tile when nothing fits.
+func (d *DMT) bestTile(cands []mkernel.Tile, mm, nn, kc int) panelChoice {
+	best := panelChoice{cost: -1}
+	for _, t := range cands {
+		if t.MR > mm || t.NR > nn {
+			continue
+		}
+		c := d.gridCost(t, mm, nn, kc)
+		if best.cost < 0 || c < best.cost {
+			best = panelChoice{cost: c, tile: t}
+		}
+	}
+	if best.cost < 0 {
+		// Fall back to the smallest strip tile.
+		t := mkernel.Tile{MR: min(mm, mkernel.MaxMR), NR: d.Params.Lanes}
+		best = panelChoice{cost: d.gridCost(t, mm, nn, kc), tile: t}
+	}
+	return best
+}
+
+// Search is one DMT dynamic program opened up for incremental fill.
+// The memo table T(m', n') has no cell-to-cell dependencies — gridCost
+// never recurses — so disjoint row ranges can be filled from different
+// goroutines race-free and the whole DP parallelizes trivially:
+//
+//	s, _ := d.NewSearch(m, n, kc)
+//	// fan FillRows(lo, hi) over workers, barrier, then
+//	tl, _ := s.Finish()
+//
+// Finish lazily computes any cells the fill skipped, so a Search also
+// works fully sequentially — DMT.Tile is exactly NewSearch + Finish.
+type Search struct {
+	d      *DMT
+	m, n   int
+	kc     int
+	lanes  int
+	nQ     int
+	nSteps int
+	cands  []mkernel.Tile
+	memo   []panelChoice
+}
+
+// NewSearch prepares the dynamic program for one block. The memo is
+// allocated up front; nothing is computed yet.
+func (d *DMT) NewSearch(m, n, kc int) (*Search, error) {
 	if m <= 0 || n <= 0 {
-		return Tiling{}, fmt.Errorf("tiling: empty block %dx%d", m, n)
+		return nil, fmt.Errorf("tiling: empty block %dx%d", m, n)
 	}
 	lanes := d.Params.Lanes
 	nQ := quantN(n, lanes)
-	cands := d.Candidates
-	if cands == nil {
-		for _, t := range mkernel.FeasibleTiles(lanes) {
-			if !t.Generatable(lanes) {
-				continue
-			}
-			// With rotation enabled, reserve spare registers for the
-			// rotated A/B buffers (the reason Table II excludes shapes
-			// like 7×12 that fill the register file exactly): a tile with
-			// no slack cannot pipeline and stalls on every reload.
-			if d.Opt.Rotate && t.RegistersNeeded(lanes) > 30 {
-				continue
-			}
-			cands = append(cands, t)
-		}
+	s := &Search{
+		d: d, m: m, n: n, kc: kc, lanes: lanes,
+		nQ: nQ, nSteps: nQ/lanes + 1,
+		cands: d.candidates(),
+		memo:  make([]panelChoice, (m+1)*(nQ/lanes+1)),
 	}
+	for i := range s.memo {
+		s.memo[i].cost = -1
+	}
+	return s, nil
+}
 
-	// Memoize T(m', n') over the lane-quantized n grid.
-	nSteps := nQ/lanes + 1
-	memo := make([]panelChoice, (m+1)*nSteps)
-	for i := range memo {
-		memo[i].cost = -1
-	}
-	T := func(mm, nn int) panelChoice {
-		if mm == 0 || nn == 0 {
-			return panelChoice{cost: 0}
-		}
-		idx := mm*nSteps + nn/lanes
-		if memo[idx].cost >= 0 {
-			return memo[idx]
-		}
-		best := panelChoice{cost: -1}
-		for _, t := range cands {
-			if t.MR > mm || t.NR > nn {
-				continue
-			}
-			c := d.gridCost(t, mm, nn, kc)
-			if best.cost < 0 || c < best.cost {
-				best = panelChoice{cost: c, tile: t}
-			}
-		}
-		if best.cost < 0 {
-			// Fall back to the smallest strip tile.
-			t := mkernel.Tile{MR: min(mm, mkernel.MaxMR), NR: lanes}
-			best = panelChoice{cost: d.gridCost(t, mm, nn, kc), tile: t}
-		}
-		memo[idx] = best
-		return best
-	}
+// Rows reports the row extent of the memo table; FillRows ranges over
+// [0, Rows()).
+func (s *Search) Rows() int { return s.m + 1 }
 
+// FillRows computes every memo cell with row index in [lo, hi). Rows
+// are independent, so concurrent calls over disjoint ranges are safe.
+func (s *Search) FillRows(lo, hi int) {
+	lo = max(lo, 1) // row 0 is the empty panel, cost 0 by definition
+	hi = min(hi, s.m+1)
+	for mm := lo; mm < hi; mm++ {
+		for step := 1; step < s.nSteps; step++ {
+			s.memo[mm*s.nSteps+step] = s.d.bestTile(s.cands, mm, step*s.lanes, s.kc)
+		}
+	}
+}
+
+// t returns the memoized T(m', n'), computing the cell on demand when
+// the parallel fill did not reach it.
+func (s *Search) t(mm, nn int) panelChoice {
+	if mm == 0 || nn == 0 {
+		return panelChoice{cost: 0}
+	}
+	idx := mm*s.nSteps + nn/s.lanes
+	if s.memo[idx].cost >= 0 {
+		return s.memo[idx]
+	}
+	s.memo[idx] = s.d.bestTile(s.cands, mm, nn, s.kc)
+	return s.memo[idx]
+}
+
+// Finish runs the outer split search over the filled table and
+// assembles the panel cover. Call after every FillRows has returned;
+// Finish itself is single-threaded.
+func (s *Search) Finish() (Tiling, error) {
 	// Algorithm 1 iterates the full (n_front, m_front_up, m_back_up)
 	// product; the front and back column costs are independent given
 	// n_front, so the search decomposes exactly into two 1-D minima.
@@ -147,44 +213,53 @@ func (d *DMT) Tile(m, n, kc int) (Tiling, error) {
 	var bestNF, bestMFU, bestMBU int
 	columnBest := func(width int) (float64, int) {
 		bc, barg := -1.0, 0
-		for mu := 0; mu <= m; mu++ {
-			c := T(mu, width).cost + T(m-mu, width).cost
+		for mu := 0; mu <= s.m; mu++ {
+			c := s.t(mu, width).cost + s.t(s.m-mu, width).cost
 			if bc < 0 || c < bc {
 				bc, barg = c, mu
 			}
 		}
 		return bc, barg
 	}
-	for nf := 0; nf <= nQ; nf += lanes {
+	for nf := 0; nf <= s.nQ; nf += s.lanes {
 		fc, fArg := columnBest(nf)
-		bc, bArg := columnBest(nQ - nf)
+		bc, bArg := columnBest(s.nQ - nf)
 		if c := fc + bc; bestCost < 0 || c < bestCost {
 			bestCost, bestNF, bestMFU, bestMBU = c, nf, fArg, bArg
 		}
 	}
 
-	tl := Tiling{MC: m, NC: n, Strategy: d.Name()}
+	tl := Tiling{MC: s.m, NC: s.n, Strategy: s.d.Name()}
 	addPanel := func(row, col, pm, pn int) {
 		if pm <= 0 || pn <= 0 {
 			return
 		}
 		// Clip the logical width to the true block edge; lane padding is
 		// reapplied during expansion.
-		if col+pn > n {
-			pn = n - col
+		if col+pn > s.n {
+			pn = s.n - col
 		}
 		if pn <= 0 {
 			return
 		}
 		tl.Panels = append(tl.Panels, Panel{
-			Row: row, Col: col, M: pm, N: pn, Tile: T(pm, quantN(pn, lanes)).tile,
+			Row: row, Col: col, M: pm, N: pn, Tile: s.t(pm, quantN(pn, s.lanes)).tile,
 		})
 	}
 	addPanel(0, 0, bestMFU, bestNF)
-	addPanel(bestMFU, 0, m-bestMFU, bestNF)
-	addPanel(0, bestNF, bestMBU, nQ-bestNF)
-	addPanel(bestMBU, bestNF, m-bestMBU, nQ-bestNF)
+	addPanel(bestMFU, 0, s.m-bestMFU, bestNF)
+	addPanel(0, bestNF, bestMBU, s.nQ-bestNF)
+	addPanel(bestMBU, bestNF, s.m-bestMBU, s.nQ-bestNF)
 	return tl, nil
+}
+
+// Tile implements Strategy.
+func (d *DMT) Tile(m, n, kc int) (Tiling, error) {
+	s, err := d.NewSearch(m, n, kc)
+	if err != nil {
+		return Tiling{}, err
+	}
+	return s.Finish()
 }
 
 // gridCost projects covering an mm×nn panel uniformly with tile t,

@@ -125,6 +125,43 @@ func (tl Tiling) Cost(p perfmodel.Params, kc int, opt perfmodel.Opt) float64 {
 
 // Validate checks that the tiling covers the block exactly once.
 func (tl Tiling) Validate(lanes int) error {
+	if tl.validatePanels() {
+		return nil
+	}
+	return tl.validateCells(lanes)
+}
+
+// validatePanels proves exact-once coverage at panel granularity:
+// expandPanel covers a non-padded panel exactly by construction, so
+// in-bounds, pairwise-disjoint panels whose areas sum to the block area
+// cover the block exactly once. This is the planner's hot case — the
+// per-cell sweep below is O(m_c × n_c) and dominated the per-block
+// planning cost on large blocks. Padded panels (whose overhang rules
+// are judged per cell) and any violation fall back to the sweep, which
+// also produces the precise error.
+func (tl Tiling) validatePanels() bool {
+	area := 0
+	for i, p := range tl.Panels {
+		if p.Padded || p.Tile.MR <= 0 || p.Tile.NR <= 0 {
+			return false
+		}
+		if p.M <= 0 || p.N <= 0 || p.Row < 0 || p.Col < 0 ||
+			p.Row+p.M > tl.MC || p.Col+p.N > tl.NC {
+			return false
+		}
+		for _, q := range tl.Panels[:i] {
+			if p.Row < q.Row+q.M && q.Row < p.Row+p.M &&
+				p.Col < q.Col+q.N && q.Col < p.Col+p.N {
+				return false
+			}
+		}
+		area += p.M * p.N
+	}
+	return area == tl.MC*tl.NC
+}
+
+// validateCells is the exhaustive per-cell coverage check.
+func (tl Tiling) validateCells(lanes int) error {
 	covered := make([]bool, tl.MC*tl.NC)
 	for _, r := range tl.Rects(lanes) {
 		for i := 0; i < r.M; i++ {

@@ -31,7 +31,8 @@ func (p *Plan) Fingerprint() string { return p.p.Recipe.Fingerprint }
 func (p *Plan) Shape() (m, n, k int) { return p.p.M, p.p.N, p.p.K }
 
 // Source reports where the plan came from: "auto" (model-default
-// planning) or "tuner" (winner of a tuning search).
+// planning), "tuner" (winner of a tuning search) or "heuristic" (the
+// tiered engine's instant tier-0 recipe, pending background upgrade).
 func (p *Plan) Source() string { return p.p.Recipe.Source }
 
 // ModelCycles returns the analytic model's projected cycles for one
@@ -124,6 +125,12 @@ type PlanCacheStats struct {
 	SchedQueueHighWater int   // most jobs ever in flight at once
 	SchedTasksPanicked  int64 // tasks whose panic was contained into a job error
 	SchedJobsCancelled  int64 // jobs failed by context cancellation
+
+	// Tiered planning (zero unless PlanModeTiered; see tiered.go).
+	HeuristicServed   int64 // serves answered by a tier-0 heuristic plan
+	UpgradesCompleted int64 // background upgrades hot-swapped into the cache
+	UpgradesFailed    int64 // background upgrades that failed (heuristic kept serving)
+	NeighborSeeded    int64 // upgrades warm-started from a registry neighbor
 }
 
 // PlanCacheStats returns the engine's plan-cache and scheduler
@@ -140,6 +147,10 @@ func (e *Engine) PlanCacheStats() PlanCacheStats {
 		SchedQueueHighWater: ss.QueueHighWater,
 		SchedTasksPanicked:  ss.TasksPanicked,
 		SchedJobsCancelled:  ss.JobsCancelled,
+		HeuristicServed:     e.heuristicServed.Load(),
+		UpgradesCompleted:   e.upgradesCompleted.Load(),
+		UpgradesFailed:      e.upgradesFailed.Load(),
+		NeighborSeeded:      e.neighborSeeded.Load(),
 	}
 }
 
@@ -147,9 +158,14 @@ func (e *Engine) PlanCacheStats() PlanCacheStats {
 // plan cache: on a miss it first tries the on-disk registry (a stale or
 // mismatched entry falls through to fresh planning), then produces and
 // attaches a fresh plan. Concurrent misses on one fingerprint plan
-// exactly once.
+// exactly once. In tiered mode (WithPlanMode) the miss path serves an
+// instant heuristic plan instead and upgrades it in the background —
+// see tiered.go.
 func (e *Engine) planResolved(co core.Options, m, n, k int) (*core.Plan, error) {
 	req := core.RequestOf(e.chip, m, n, k, co)
+	if e.PlanMode() == PlanModeTiered {
+		return e.planTiered(co, m, n, k, req)
+	}
 	return e.plans.Get(req.Fingerprint(), func() (*core.Plan, error) {
 		if e.registry != nil {
 			if rec, err := e.registry.Load(req.Fingerprint()); err == nil {
