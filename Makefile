@@ -78,9 +78,13 @@ bench:
 # planner's failed-upgrade containment) run against the engine first.
 # -assert-first-hit holds the tiered cold-serve budget: the run fails
 # if any of the 20 ResNet-50 shapes takes over 500µs to first plan.
+# The second step replays a real A64FX schedule in virtual time and
+# asserts the paper's CMG figure: monotone in-group scaling and the
+# efficiency collapse once workers span CMGs.
 bench-smoke:
 	AUTOGEMM_FAULT=all $(GO) run ./cmd/autogemm-bench -json -tag smoke -layers L16,L20 -mintime 50ms -assert-first-hit 500
 	@rm -f BENCH_smoke.json
+	$(GO) run ./cmd/autogemm-bench -sim-scaling -sim-chips A64FX -assert-cmg-collapse >/dev/null
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,9 @@
 //	autogemm-bench -json -tag local -workers 1,2,4
 //	autogemm-bench -json -tag smoke -layers L16,L20 -mintime 100ms
 //	autogemm-bench -json -tag local -assert-first-hit 500    # fail if any tiered first hit > 500µs
+//	autogemm-bench -sim-scaling -json                        # virtual-time strong-scaling curves, all chips
+//	autogemm-bench -sim-scaling -sim-chips A64FX -assert-cmg-collapse
+//	autogemm-bench -sim-scaling -sim-update-bench merge -tag local
 package main
 
 import (
@@ -32,7 +35,21 @@ func main() {
 	workers := flag.String("workers", "", "comma-separated worker counts for -json (default: powers of two up to NumCPU)")
 	minTime := flag.Duration("mintime", 300*time.Millisecond, "minimum measurement time per -json data point")
 	assertFirstHit := flag.Float64("assert-first-hit", 0, "fail -json if any tiered-mode plan first hit exceeds this many microseconds, measured over all ResNet-50 shapes (0 disables)")
+	simScaling := flag.Bool("sim-scaling", false, "replay a real schedule in virtual time and emit per-chip strong-scaling curves")
+	simChips := flag.String("sim-chips", "all", "comma-separated chip set for -sim-scaling, or 'all'")
+	simLayer := flag.String("sim-layer", "L1", "ResNet-50 layer for -sim-scaling")
+	simWorkers := flag.Int("sim-pool-workers", 4, "OS worker-pool size for the recorded -sim-scaling run (virtual worker counts are swept independently)")
+	assertCollapse := flag.Bool("assert-cmg-collapse", false, "fail -sim-scaling unless the A64FX curve shows the CMG efficiency collapse")
+	simUpdateBench := flag.String("sim-update-bench", "", "'merge' writes the -sim-scaling curves into BENCH_<tag>.json")
 	flag.Parse()
+
+	if *simScaling {
+		if err := runSimScalingMode(*simChips, *simLayer, *simWorkers, *jsonBench, *assertCollapse, *simUpdateBench, *tag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonBench {
 		if err := runJSONBench(*tag, *chip, *layers, *workers, *minTime, *assertFirstHit); err != nil {

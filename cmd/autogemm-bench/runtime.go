@@ -34,6 +34,12 @@ type benchResult struct {
 	Shapes     []benchShapeResult `json:"shapes"`
 	Batch      []benchBatchRun    `json:"batch"`
 	Summary    map[string]float64 `json:"summary"`
+
+	// SimScaling holds the virtual-time strong-scaling curves written by
+	// `-sim-scaling -sim-update-bench merge` — per-chip efficiency
+	// points replayed from a real schedule (see simscaling.go). Unlike
+	// the wall-clock sections above it is host-independent.
+	SimScaling []simChipScaling `json:"simScaling,omitempty"`
 }
 
 // benchBatchRun is one batch-throughput measurement: the whole shape

@@ -184,6 +184,22 @@ type Plan struct {
 	groups  [][]blockIter
 	states  []*execState
 
+	// Memoized per-shape simulated costs (estimate.go, shapeCosts):
+	// computed once, shared by the analytic estimator and the
+	// virtual-time cost attribution. costKeys preserves first-visit
+	// order so float composition is bit-deterministic.
+	costOnce sync.Once
+	costs    map[[3]int]blockCost
+	costKeys [][3]int
+	costErr  error
+
+	// Virtual-time cost attribution (virtualtime.go): one precomputed
+	// sched.TaskCost per C-tile group, charged to the running worker
+	// when vtCosting is set. Written before the flag is raised, read
+	// only after observing it.
+	taskCosts []sched.TaskCost
+	vtCosting atomic.Bool
+
 	// Block-execution counters by path, updated atomically.
 	nInPlace, nABInPlace, nPacked, nInterp int64
 

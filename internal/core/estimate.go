@@ -5,6 +5,7 @@ import (
 
 	"autogemm/internal/asm"
 	"autogemm/internal/cache"
+	"autogemm/internal/hw"
 	"autogemm/internal/sim"
 )
 
@@ -29,83 +30,151 @@ type bandCostKey struct {
 	lat  int
 }
 
-// Estimate projects the plan's runtime: every distinct band kernel is
-// executed once through the cycle simulator at the load latency implied
-// by the blocking's cache residency, and the results are composed over
-// the block grid with packing costs, launch overheads and — for
-// multi-core runs — the imbalance, synchronization and NUMA/CMG model.
-func (p *Plan) Estimate() (Estimate, error) {
+// blockCost is the simulated cost of one visit to a cache-block shape:
+// the per-band timing-simulator cycles, launch overheads, packing
+// cycles charged in the timed region, the DRAM bytes moved, and the
+// largest single band (the analytic imbalance bound). Computed once per
+// distinct shape (shapeCosts) and shared between the analytic estimate
+// and the virtual-time cost attribution — both views of a plan's time
+// come from the same numbers.
+type blockCost struct {
+	kernel  float64
+	launch  float64
+	pack    float64
+	dram    float64
+	maxBand float64
+}
+
+// total returns the compute cycles of one block visit.
+func (b blockCost) total() float64 { return b.kernel + b.launch + b.pack }
+
+// shapeCosts computes (once, memoized on the plan) the cost of every
+// distinct block shape in the grid. Keys are returned in first-visit
+// order of the plan's loop order, and all composition downstream
+// iterates that slice — never the map — so every float sum is performed
+// in one fixed order and the resulting estimates are bit-deterministic
+// across runs and GOMAXPROCS.
+func (p *Plan) shapeCosts() (map[[3]int]blockCost, [][3]int, error) {
+	p.costOnce.Do(func() {
+		hier := cache.NewHierarchy(p.Chip)
+		bandCache := make(map[bandCostKey]float64)
+		costs := make(map[[3]int]blockCost, 8)
+		var keys [][3]int
+		for _, blk := range p.blocks() {
+			key := [3]int{blk.MB, blk.NB, blk.KB}
+			if _, ok := costs[key]; ok {
+				continue
+			}
+			bc, err := p.blockCostFor(hier, bandCache, key[0], key[1], key[2])
+			if err != nil {
+				p.costErr = err
+				return
+			}
+			costs[key] = bc
+			keys = append(keys, key)
+		}
+		p.costs, p.costKeys = costs, keys
+	})
+	return p.costs, p.costKeys, p.costErr
+}
+
+// blockCostFor times one visit to a block shape: every distinct band
+// kernel runs once through the cycle simulator at the load latency
+// implied by the blocking's cache residency, and packing/launch/DRAM
+// costs are added per the plan's pack mode.
+func (p *Plan) blockCostFor(hier *cache.Hierarchy, bandCache map[bandCostKey]float64, mb, nb, kb int) (blockCost, error) {
 	chip := p.Chip
 	lanes := chip.Lanes
-	hier := cache.NewHierarchy(chip)
+	var bc blockCost
 
-	bandCache := make(map[bandCostKey]float64)
-	var est Estimate
-
-	// Distinct block shapes and their visit counts.
-	type bkey struct{ mb, nb, kb int }
-	counts := make(map[bkey]int)
-	for _, blk := range p.blocks() {
-		counts[bkey{blk.MB, blk.NB, blk.KB}]++
+	tl, err := p.blockTiling(mb, nb)
+	if err != nil {
+		return bc, err
 	}
+	lat := p.blockLoadLatency(hier, mb, nb, kb)
 
-	for key, cnt := range counts {
-		tl, err := p.blockTiling(key.mb, key.nb)
-		if err != nil {
-			return est, err
-		}
-		lat := p.blockLoadLatency(hier, key.mb, key.nb, key.kb)
-
-		blockKernel, blockLaunch := 0.0, 0.0
-		for _, bd := range panelBands(tl, lanes) {
-			var cost float64
-			if p.Opts.Fuse && totalTiles(bd.Segs) > 1 {
-				cfg := bandConfigFor(chip, p.Opts, bd.Segs, key.kb)
+	for _, bd := range panelBands(tl, lanes) {
+		var cost float64
+		if p.Opts.Fuse && totalTiles(bd.Segs) > 1 {
+			cfg := bandConfigFor(chip, p.Opts, bd.Segs, kb)
+			c, err := p.bandCycles(bandCache, cfg.Name(), lat, func() (*simProg, error) {
+				prog, err := p.cache.Band(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return &simProg{prog: prog, mr: bd.MR, width: bd.Width(), kc: kb}, nil
+			})
+			if err != nil {
+				return bc, err
+			}
+			cost = c
+			bc.launch += float64(chip.LaunchCycles)
+		} else {
+			for _, seg := range bd.Segs {
+				cfg := kernelConfigFor(chip, p.Opts, seg.Tile, kb)
 				c, err := p.bandCycles(bandCache, cfg.Name(), lat, func() (*simProg, error) {
-					prog, err := p.cache.Band(cfg)
+					prog, err := p.cache.Kernel(cfg)
 					if err != nil {
 						return nil, err
 					}
-					return &simProg{prog: prog, mr: bd.MR, width: bd.Width(), kc: key.kb}, nil
+					return &simProg{prog: prog, mr: seg.Tile.MR, width: seg.Tile.NR, kc: kb}, nil
 				})
 				if err != nil {
-					return est, err
+					return bc, err
 				}
-				cost = c
-				blockLaunch += float64(chip.LaunchCycles)
-			} else {
-				for _, seg := range bd.Segs {
-					cfg := kernelConfigFor(chip, p.Opts, seg.Tile, key.kb)
-					c, err := p.bandCycles(bandCache, cfg.Name(), lat, func() (*simProg, error) {
-						prog, err := p.cache.Kernel(cfg)
-						if err != nil {
-							return nil, err
-						}
-						return &simProg{prog: prog, mr: seg.Tile.MR, width: seg.Tile.NR, kc: key.kb}, nil
-					})
-					if err != nil {
-						return est, err
-					}
-					cost += float64(seg.Count) * c
-					blockLaunch += float64(seg.Count) * float64(chip.LaunchCycles)
-				}
-			}
-			blockKernel += cost
-			if cost > est.MaxBandCost {
-				est.MaxBandCost = cost
+				cost += float64(seg.Count) * c
+				bc.launch += float64(seg.Count) * float64(chip.LaunchCycles)
 			}
 		}
-
-		pack, dram := p.blockTrafficCost(key.mb, key.nb, key.kb)
-		est.KernelCycles += float64(cnt) * blockKernel
-		est.LaunchOver += float64(cnt) * blockLaunch
-		est.PackCycles += float64(cnt) * pack
-		est.DRAMBytes += float64(cnt) * dram
+		bc.kernel += cost
+		if cost > bc.maxBand {
+			bc.maxBand = cost
+		}
 	}
 
+	bc.pack, bc.dram = p.blockTrafficCost(mb, nb, kb)
+	return bc, nil
+}
+
+// Estimate projects the plan's runtime at the plan's configured core
+// count (Options.Cores; 0 or 1 is single-core). See EstimateAt.
+func (p *Plan) Estimate() (Estimate, error) {
+	return p.EstimateAt(max(1, p.Opts.Cores))
+}
+
+// EstimateAt projects the plan's runtime on `cores` cores: the memoized
+// per-shape costs are composed over the block grid, and — for
+// multi-core runs — the imbalance, synchronization and NUMA/CMG
+// contention model (hw.Topology) is applied. The per-shape simulation
+// work is shared across calls, so sweeping a scaling curve costs one
+// timing simulation per distinct shape, not per core count.
+func (p *Plan) EstimateAt(cores int) (Estimate, error) {
+	var est Estimate
+	costs, keys, err := p.shapeCosts()
+	if err != nil {
+		return est, err
+	}
+
+	counts := make(map[[3]int]int, len(keys))
+	for _, blk := range p.blocks() {
+		counts[[3]int{blk.MB, blk.NB, blk.KB}]++
+	}
+	for _, key := range keys {
+		bc := costs[key]
+		cnt := float64(counts[key])
+		est.KernelCycles += cnt * bc.kernel
+		est.LaunchOver += cnt * bc.launch
+		est.PackCycles += cnt * bc.pack
+		est.DRAMBytes += cnt * bc.dram
+		if bc.maxBand > est.MaxBandCost {
+			est.MaxBandCost = bc.maxBand
+		}
+	}
+
+	chip := p.Chip
 	single := est.KernelCycles + est.LaunchOver + est.PackCycles + float64(p.Opts.CallOverhead)
-	est.Cores = max(1, p.Opts.Cores)
-	est.Cycles = p.parallelCycles(single, est)
+	est.Cores = max(1, cores)
+	est.Cycles = p.parallelCyclesAt(single, est, est.Cores)
 	freqHz := chip.FreqGHz * 1e9
 	est.Seconds = est.Cycles / freqHz
 	flops := 2 * float64(p.M) * float64(p.N) * float64(p.K)
@@ -199,32 +268,22 @@ func (p *Plan) blockTrafficCost(mb, nb, kb int) (packCycles, dramBytes float64) 
 	return packCycles, dramBytes
 }
 
-// parallelCycles applies the multi-core model: greedy band scheduling
-// (imbalance bounded by the largest band), the NUMA/CMG span slowdown,
-// the per-core synchronization fraction, and the socket bandwidth floor.
-func (p *Plan) parallelCycles(single float64, est Estimate) float64 {
-	chip := p.Chip
-	cores := max(1, p.Opts.Cores)
-	if cores == 1 {
+// parallelCyclesAt applies the multi-core model at an explicit core
+// count: greedy band scheduling (imbalance bounded by the largest
+// band), then the NUMA/CMG span slowdown, per-core synchronization
+// fraction and socket bandwidth floor — all read off the shared
+// hw.Topology contention model so the analytic estimate and the
+// virtual-time simulator (internal/vtime) apply identical penalties.
+func (p *Plan) parallelCyclesAt(single float64, est Estimate, cores int) float64 {
+	if cores <= 1 {
 		return single
 	}
-	if cores > chip.Cores {
-		cores = chip.Cores
-	}
+	top := hw.NewTopology(p.Chip)
+	cores = top.ClampCores(cores)
 	perCore := single/float64(cores) + est.MaxBandCost // greedy bound
+	perCore *= top.SpanPenalty(cores)
+	perCore *= top.SyncPenalty(cores)
 
-	// NUMA/CMG span slowdown, interpolated over groups in use.
-	groups := chip.NUMAGroups
-	if groups > 1 {
-		perGroup := (chip.Cores + groups - 1) / groups
-		used := (cores + perGroup - 1) / perGroup
-		if used > 1 {
-			frac := float64(used-1) / float64(groups-1)
-			perCore *= 1 + (chip.NUMACrossPenalty-1)*frac
-		}
-	}
-	perCore *= 1 + chip.SyncFrac*float64(cores-1)
-
-	bw := est.DRAMBytes / (chip.DRAMGBs / chip.FreqGHz)
+	bw := est.DRAMBytes / top.SocketBandwidth()
 	return math.Max(perCore, bw)
 }

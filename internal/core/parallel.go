@@ -70,6 +70,22 @@ func (f *RunFuture) Wait() error {
 	return f.err
 }
 
+// JobID returns the scheduler's pool-unique ID for this job — the key
+// an installed sched.Timekeeper files its per-task cost observations
+// under (sched.Recorder.Costs).
+func (f *RunFuture) JobID() int64 { return f.f.JobID() }
+
+// Tasks returns the number of C-tile-group tasks in this job.
+func (f *RunFuture) Tasks() int { return f.f.Tasks() }
+
+// Participants returns how many pool workers ran at least one of the
+// job's tasks. Only meaningful after the job completes.
+func (f *RunFuture) Participants() int { return f.f.Participants() }
+
+// TasksStolen returns how many of the job's tasks were claimed by
+// workers other than the one that claimed the first task.
+func (f *RunFuture) TasksStolen() int64 { return f.f.TasksStolen() }
+
 // WaitContext is Wait bounded by a context: it returns the job's error
 // once it completes, or ctx.Err() if the context fires first. An early
 // return does not abandon the job; Wait remains usable and the
@@ -135,6 +151,12 @@ func (p *Plan) submitJob(ctx context.Context, c, a, b []float32, workers int) (*
 			if err := p.runBlock(st, blk, c, a, b); err != nil {
 				return err
 			}
+		}
+		if p.vtCosting.Load() {
+			// Cost accounting on: charge this task's precomputed
+			// simulated cost to the worker's virtual clock. Numeric
+			// execution above is untouched — results stay bit-identical.
+			w.Charge(p.taskCosts[gi])
 		}
 		return nil
 	})

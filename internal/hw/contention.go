@@ -1,0 +1,122 @@
+package hw
+
+// This file extends the chip descriptions into a shared contention
+// model. The NUMA/CMG knobs on Chip (NUMAGroups, NUMACrossPenalty,
+// SyncFrac) were originally consumed only by the closed-form analytic
+// estimate; Topology gives them an operational reading — cores mapped
+// to groups, per-group memory bandwidth, span and synchronization
+// penalties — that the analytic model (core.Estimate) and the
+// schedule-driven simulator (internal/vtime) both build on. Keeping one
+// implementation here is what makes the cross-validation between the
+// two meaningful: they may only disagree through scheduling, never
+// through topology arithmetic.
+
+// Topology is the contention view of a chip: cores grouped into
+// NUMA/CMG domains that share a memory path. The zero value is not
+// usable; construct with NewTopology.
+type Topology struct {
+	chip     *Chip
+	groups   int // >= 1
+	perGroup int // cores per group (last group may be short)
+}
+
+// NewTopology derives the group layout of a chip. Cores fill groups
+// contiguously — cores [0, perGroup) are group 0, the next perGroup
+// cores group 1, and so on — matching how the paper pins threads to
+// CMGs on A64FX (§V-E).
+func NewTopology(chip *Chip) *Topology {
+	groups := chip.NUMAGroups
+	if groups < 1 {
+		groups = 1
+	}
+	perGroup := (chip.Cores + groups - 1) / groups
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	return &Topology{chip: chip, groups: groups, perGroup: perGroup}
+}
+
+// Chip returns the underlying chip description.
+func (t *Topology) Chip() *Chip { return t.chip }
+
+// Groups returns the number of NUMA/CMG groups (>= 1).
+func (t *Topology) Groups() int { return t.groups }
+
+// CoresPerGroup returns the contiguous-fill group width.
+func (t *Topology) CoresPerGroup() int { return t.perGroup }
+
+// GroupOf maps a core index to its group.
+func (t *Topology) GroupOf(core int) int {
+	if core < 0 {
+		return 0
+	}
+	g := core / t.perGroup
+	if g >= t.groups {
+		g = t.groups - 1
+	}
+	return g
+}
+
+// GroupsSpanned returns how many groups a contiguous allocation of the
+// given core count occupies.
+func (t *Topology) GroupsSpanned(cores int) int {
+	if cores <= 0 {
+		return 1
+	}
+	used := (cores + t.perGroup - 1) / t.perGroup
+	if used > t.groups {
+		used = t.groups
+	}
+	return used
+}
+
+// SpanPenalty returns the per-core slowdown factor (>= 1) for running
+// the given core count: spanning every group costs the chip's full
+// NUMACrossPenalty (the A64FX ring-bus effect), intermediate spans
+// interpolate linearly, and staying inside one group costs nothing.
+// This is exactly the factor the analytic Eqn-13 model applies.
+func (t *Topology) SpanPenalty(cores int) float64 {
+	if t.groups <= 1 {
+		return 1
+	}
+	used := t.GroupsSpanned(cores)
+	if used <= 1 {
+		return 1
+	}
+	frac := float64(used-1) / float64(t.groups-1)
+	return 1 + (t.chip.NUMACrossPenalty-1)*frac
+}
+
+// SyncPenalty returns the serial-fraction slowdown (>= 1) of running on
+// the given core count: barriers and work distribution add SyncFrac of
+// the runtime per additional core.
+func (t *Topology) SyncPenalty(cores int) float64 {
+	if cores <= 1 {
+		return 1
+	}
+	return 1 + t.chip.SyncFrac*float64(cores-1)
+}
+
+// SocketBandwidth returns the whole-socket sustained DRAM bandwidth in
+// bytes per core-cycle (GB/s at GHz: the units cancel to bytes/cycle).
+func (t *Topology) SocketBandwidth() float64 {
+	return t.chip.DRAMGBs / t.chip.FreqGHz
+}
+
+// GroupBandwidth returns the per-group share of the socket bandwidth in
+// bytes per cycle — the budget concurrent tasks inside one group debit.
+func (t *Topology) GroupBandwidth() float64 {
+	return t.SocketBandwidth() / float64(t.groups)
+}
+
+// ClampCores bounds a requested worker count to [1, Cores]: the model
+// has no more parallelism than the chip has cores.
+func (t *Topology) ClampCores(cores int) int {
+	if cores < 1 {
+		return 1
+	}
+	if cores > t.chip.Cores {
+		return t.chip.Cores
+	}
+	return cores
+}

@@ -1,0 +1,96 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTopologyA64FX pins the CMG layout the paper's §V-E scaling story
+// rests on: 48 cores in 4 groups of 12, contiguous fill, full ring-bus
+// penalty only when all four groups are in play.
+func TestTopologyA64FX(t *testing.T) {
+	top := NewTopology(A64FX())
+	if top.Groups() != 4 || top.CoresPerGroup() != 12 {
+		t.Fatalf("groups=%d perGroup=%d, want 4/12", top.Groups(), top.CoresPerGroup())
+	}
+	if g := top.GroupOf(11); g != 0 {
+		t.Errorf("GroupOf(11)=%d, want 0", g)
+	}
+	if g := top.GroupOf(12); g != 1 {
+		t.Errorf("GroupOf(12)=%d, want 1", g)
+	}
+	if g := top.GroupOf(47); g != 3 {
+		t.Errorf("GroupOf(47)=%d, want 3", g)
+	}
+	spans := map[int]int{1: 1, 12: 1, 13: 2, 24: 2, 25: 3, 36: 3, 37: 4, 48: 4}
+	for cores, want := range spans {
+		if got := top.GroupsSpanned(cores); got != want {
+			t.Errorf("GroupsSpanned(%d)=%d, want %d", cores, got, want)
+		}
+	}
+	chip := top.Chip()
+	if p := top.SpanPenalty(12); p != 1 {
+		t.Errorf("SpanPenalty(12)=%v, want 1 (inside one CMG)", p)
+	}
+	if p := top.SpanPenalty(48); p != chip.NUMACrossPenalty {
+		t.Errorf("SpanPenalty(48)=%v, want full penalty %v", p, chip.NUMACrossPenalty)
+	}
+	// Halfway span interpolates: 24 cores use 2 of 4 groups.
+	want := 1 + (chip.NUMACrossPenalty-1)*(1.0/3.0)
+	if p := top.SpanPenalty(24); math.Abs(p-want) > 1e-12 {
+		t.Errorf("SpanPenalty(24)=%v, want %v", p, want)
+	}
+}
+
+// TestTopologySingleGroup: chips with one group never pay a span
+// penalty, at any core count.
+func TestTopologySingleGroup(t *testing.T) {
+	for _, chip := range []*Chip{KP920(), Graviton2(), M2(), Didactic()} {
+		top := NewTopology(chip)
+		if top.Groups() != 1 {
+			t.Fatalf("%s: groups=%d", chip.Name, top.Groups())
+		}
+		for _, cores := range []int{1, 2, chip.Cores, chip.Cores + 10} {
+			if p := top.SpanPenalty(cores); p != 1 {
+				t.Errorf("%s: SpanPenalty(%d)=%v, want 1", chip.Name, cores, p)
+			}
+		}
+		if g := top.GroupOf(chip.Cores - 1); g != 0 {
+			t.Errorf("%s: GroupOf(last)=%d, want 0", chip.Name, g)
+		}
+	}
+}
+
+// TestTopologyBandwidthShares: the per-group budget is an even split of
+// the socket bandwidth, in bytes per cycle.
+func TestTopologyBandwidthShares(t *testing.T) {
+	chip := A64FX()
+	top := NewTopology(chip)
+	socket := chip.DRAMGBs / chip.FreqGHz
+	if got := top.SocketBandwidth(); math.Abs(got-socket) > 1e-12 {
+		t.Errorf("SocketBandwidth=%v, want %v", got, socket)
+	}
+	if got := top.GroupBandwidth(); math.Abs(got-socket/4) > 1e-12 {
+		t.Errorf("GroupBandwidth=%v, want %v", got, socket/4)
+	}
+}
+
+// TestTopologySyncAndClamp covers the serial-fraction penalty and the
+// core-count clamp.
+func TestTopologySyncAndClamp(t *testing.T) {
+	chip := Altra()
+	top := NewTopology(chip)
+	if p := top.SyncPenalty(1); p != 1 {
+		t.Errorf("SyncPenalty(1)=%v, want 1", p)
+	}
+	want := 1 + chip.SyncFrac*float64(chip.Cores-1)
+	if p := top.SyncPenalty(chip.Cores); math.Abs(p-want) > 1e-12 {
+		t.Errorf("SyncPenalty(all)=%v, want %v", p, want)
+	}
+	if c := top.ClampCores(0); c != 1 {
+		t.Errorf("ClampCores(0)=%d, want 1", c)
+	}
+	if c := top.ClampCores(10_000); c != chip.Cores {
+		t.Errorf("ClampCores(10000)=%d, want %d", c, chip.Cores)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -95,9 +96,13 @@ type Pool struct {
 	completed int64
 	stolen    int64
 	highWater int
+	jobSeq    int64 // job IDs, assigned at acceptance (under mu)
 
 	panicked  int64 // atomic: tasks whose panic was contained
 	cancelled int64 // jobs failed by context cancellation
+
+	tk        atomic.Pointer[tkBox] // virtual-clock hook (timekeeper.go)
+	perWorker []workerCounters      // per-worker task/busy accounting
 }
 
 // Stats is a snapshot of a pool's scheduling counters.
@@ -105,10 +110,11 @@ type Stats struct {
 	Workers        int
 	JobsSubmitted  int64
 	JobsCompleted  int64
-	TasksStolen    int64 // tasks run by a worker other than the job's first claimant
-	QueueHighWater int   // most jobs ever in flight at once (bounded by the depth)
-	TasksPanicked  int64 // tasks whose panic was recovered and converted to a job error
-	JobsCancelled  int64 // jobs that failed because their context was cancelled
+	TasksStolen    int64         // tasks run by a worker other than the job's first claimant
+	QueueHighWater int           // most jobs ever in flight at once (bounded by the depth)
+	TasksPanicked  int64         // tasks whose panic was recovered and converted to a job error
+	JobsCancelled  int64         // jobs that failed because their context was cancelled
+	PerWorker      []WorkerStats // per-worker tasks run + charged virtual cycles (timekeeper.go)
 }
 
 // New returns a pool with the given worker count and queue depth.
@@ -126,6 +132,7 @@ func New(workers, depth int) *Pool {
 	}
 	p := &Pool{workers: workers, depth: depth}
 	p.cond = sync.NewCond(&p.mu)
+	p.perWorker = make([]workerCounters, workers)
 	return p
 }
 
@@ -151,8 +158,9 @@ func (p *Pool) Workers() int { return p.workers }
 // per-worker scratch (e.g. the executor's packing buffers) by ID with
 // no locking.
 type Worker struct {
-	id   int
-	pool *Pool
+	id      int
+	pool    *Pool
+	pending TaskCost // cost charged by the task currently running (timekeeper.go)
 }
 
 // ID returns the worker's dense index in [0, Workers()).
@@ -163,6 +171,7 @@ func (w *Worker) ID() int { return w.id }
 type job struct {
 	pool *Pool
 	ctx  context.Context // cancellation: later claims skip once Done
+	id   int64           // pool-unique, assigned at acceptance
 	n    int
 	max  int
 	run  func(w *Worker, task int) error
@@ -233,6 +242,10 @@ func (f *Future) TasksStolen() int64 {
 // decomposition matches the C-tile groups a plan promises: one task per
 // group, so exclusivity of groups implies race-freedom of the job.
 func (f *Future) Tasks() int { return f.j.n }
+
+// JobID returns the pool-unique ID assigned to the job at acceptance —
+// the key a Timekeeper's observations use (see Recorder.Costs).
+func (f *Future) JobID() int64 { return f.j.id }
 
 // Participants reports, after the job completes, how many pool workers
 // actually joined it. Always in [1, min(maxWorkers, pool size)] for a
@@ -334,6 +347,8 @@ func (p *Pool) SubmitContext(ctx context.Context, tasks, maxWorkers int, run fun
 		return nil, err
 	}
 	p.submitted++
+	p.jobSeq++
+	j.id = p.jobSeq
 	p.inflight++
 	if p.inflight > p.highWater {
 		p.highWater = p.inflight
@@ -377,6 +392,8 @@ func (p *Pool) TrySubmit(tasks, maxWorkers int, run func(w *Worker, task int) er
 	}
 	p.startLocked()
 	p.submitted++
+	p.jobSeq++
+	j.id = p.jobSeq
 	p.inflight++
 	if p.inflight > p.highWater {
 		p.highWater = p.inflight
@@ -440,7 +457,7 @@ func (p *Pool) beginClose() {
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Workers:        p.workers,
 		JobsSubmitted:  p.submitted,
 		JobsCompleted:  p.completed,
@@ -448,7 +465,16 @@ func (p *Pool) Stats() Stats {
 		QueueHighWater: p.highWater,
 		TasksPanicked:  atomic.LoadInt64(&p.panicked),
 		JobsCancelled:  p.cancelled,
+		PerWorker:      make([]WorkerStats, len(p.perWorker)),
 	}
+	for i := range p.perWorker {
+		pw := &p.perWorker[i]
+		s.PerWorker[i] = WorkerStats{
+			TasksRun:   atomic.LoadInt64(&pw.tasks),
+			BusyCycles: math.Float64frombits(atomic.LoadUint64(&pw.busy)),
+		}
+	}
+	return s
 }
 
 // startLocked spawns the workers on first use.
@@ -514,8 +540,13 @@ func (j *job) work(w *Worker, primary bool) {
 		if atomic.LoadInt32(&j.failed) == 0 {
 			if err := j.ctx.Err(); err != nil {
 				j.fail(err, true)
-			} else if err := j.runTask(w, int(i)); err != nil {
-				j.fail(err, false)
+			} else {
+				w.pending = TaskCost{}
+				err := j.runTask(w, int(i))
+				j.pool.observeTask(w, j.id, int(i))
+				if err != nil {
+					j.fail(err, false)
+				}
 			}
 		}
 		if !primary {

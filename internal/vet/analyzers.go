@@ -9,7 +9,7 @@ import (
 
 // All returns the module's analyzer set in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{PlanMut, UnsafePtr, CtxFirst, Goroutine}
+	return []*Analyzer{PlanMut, UnsafePtr, CtxFirst, Goroutine, Walltime}
 }
 
 // pathIs reports whether pkgPath is the module package with the given
@@ -175,6 +175,86 @@ func isContextType(info *types.Info, expr ast.Expr) bool {
 	}
 	obj := named.Obj()
 	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// Walltime keeps the virtual-time-critical task path free of wall-clock
+// reads. Simulated schedules (the Timekeeper seam in internal/sched,
+// the cycle models in internal/sim, the replay engine in internal/vtime)
+// are bit-deterministic only because no cost or ordering decision ever
+// consults the host clock — a stray time.Now in those packages would
+// silently couple results to machine load. Unlike the confinement
+// rules, this one is inclusion-scoped: it runs only inside the critical
+// packages and skips the rest of the tree (drivers and benchmarks
+// legitimately measure wall time). A deliberate wall-clock call site
+// (e.g. CloseWithTimeout's drain deadline, which bounds real waiting
+// and never feeds virtual time) is approved by a "vet:allow walltime"
+// line in the enclosing function's doc comment.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "no time.Now/time.Since in virtual-time-critical packages (internal/sched, internal/sim, internal/vtime) outside approved call sites",
+	Skip: func(pkgPath string) bool {
+		for _, crit := range []string{
+			"internal/sched", "internal/sim", "internal/sim/compile", "internal/vtime",
+		} {
+			if pathIs(pkgPath, crit) {
+				return false
+			}
+		}
+		return true
+	},
+	Run: runWalltime,
+}
+
+// walltimeAllow is the approval directive for Walltime.
+const walltimeAllow = "vet:allow walltime"
+
+func hasWalltimeAllow(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, walltimeAllow) {
+			return true
+		}
+	}
+	return false
+}
+
+func runWalltime(p *Pass) {
+	flagCalls := func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || pkg.Imported().Path() != "time" {
+				return true
+			}
+			if name := sel.Sel.Name; name == "Now" || name == "Since" {
+				p.Reportf(call.Pos(),
+					"time.%s in virtual-time-critical package %s; simulated schedules must not read the wall clock — derive time from charged cycles, or approve the site with a %q doc comment",
+					name, p.PkgPath, walltimeAllow)
+			}
+			return true
+		})
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && hasWalltimeAllow(fn.Doc) {
+				continue // approved call site
+			}
+			flagCalls(decl)
+		}
+	}
 }
 
 // Goroutine forbids bare go statements outside the scheduler runtime.

@@ -1,0 +1,33 @@
+// Package walltimebad seeds walltime-rule violations: wall-clock reads
+// on the virtual-time-critical task path. The fixture is swept under
+// the import path of a critical package (the rule is inclusion-scoped)
+// and must yield exactly two findings — the unapproved time.Now and
+// time.Since — while the approved call site and the uses of time that
+// do not read the clock stay clean.
+package walltimebad
+
+import "time"
+
+// taskCycles feeds a simulated schedule from the host clock — the
+// defect the rule exists to catch.
+func taskCycles() float64 {
+	start := time.Now() // want: walltime
+	work()
+	return float64(time.Since(start)) // want: walltime
+}
+
+// drainDeadline bounds a real wait on a real clock; it never feeds
+// virtual time, so the site is approved.
+//
+// vet:allow walltime
+func drainDeadline() time.Time {
+	return time.Now().Add(5 * time.Second)
+}
+
+// backoff uses the time package without reading the clock — durations
+// and timers are fine, only Now/Since are clock reads.
+func backoff(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}
+
+func work() {}

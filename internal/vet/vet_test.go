@@ -12,8 +12,16 @@ import (
 // analyzer's package exemption accidentally applies.
 func runFixture(t *testing.T, name string) []vet.Finding {
 	t.Helper()
+	return runFixtureAs(t, name, "fixture/"+name)
+}
+
+// runFixtureAs sweeps a fixture under an explicit import path —
+// inclusion-scoped rules (walltime) only fire when the fixture poses as
+// a package inside their scope.
+func runFixtureAs(t *testing.T, name, pkgPath string) []vet.Finding {
+	t.Helper()
 	dir := filepath.Join("testdata", "src", name)
-	findings, err := vet.RunDir(dir, "fixture/"+name, vet.All())
+	findings, err := vet.RunDir(dir, pkgPath, vet.All())
 	if err != nil {
 		t.Fatalf("RunDir(%s): %v", name, err)
 	}
@@ -29,15 +37,24 @@ func TestSeededDefects(t *testing.T) {
 		fixture  string
 		analyzer string
 		want     int
+		pkgPath  string // non-default import path (inclusion-scoped rules)
 	}{
-		{"planmutbad", "planmut", 4},
-		{"unsafebad", "unsafeptr", 1},
-		{"ctxbad", "ctxfirst", 2},
-		{"gobad", "goroutine", 2},
+		{"planmutbad", "planmut", 4, ""},
+		{"unsafebad", "unsafeptr", 1, ""},
+		{"ctxbad", "ctxfirst", 2, ""},
+		{"gobad", "goroutine", 2, ""},
+		// walltime only fires inside virtual-time-critical packages, so
+		// the fixture poses as internal/sched.
+		{"walltimebad", "walltime", 2, "autogemm/internal/sched"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
-			findings := runFixture(t, tc.fixture)
+			var findings []vet.Finding
+			if tc.pkgPath != "" {
+				findings = runFixtureAs(t, tc.fixture, tc.pkgPath)
+			} else {
+				findings = runFixture(t, tc.fixture)
+			}
 			if len(findings) != tc.want {
 				t.Errorf("got %d finding(s), want %d:", len(findings), tc.want)
 				for _, f := range findings {
@@ -64,6 +81,18 @@ func TestSkipExemptsConfinedPackage(t *testing.T) {
 	for _, f := range findings {
 		if f.Analyzer == "goroutine" {
 			t.Errorf("goroutine rule fired inside its own exempt package: %s", f)
+		}
+	}
+}
+
+// TestWalltimeScopeExcludesRestOfTree checks the walltime rule's
+// inclusion scope: the same wall-clock reads outside the critical
+// packages (a benchmark driver, say) are not reported.
+func TestWalltimeScopeExcludesRestOfTree(t *testing.T) {
+	findings := runFixture(t, "walltimebad") // swept as fixture/walltimebad
+	for _, f := range findings {
+		if f.Analyzer == "walltime" {
+			t.Errorf("walltime rule fired outside its critical-package scope: %s", f)
 		}
 	}
 }
