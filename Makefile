@@ -80,11 +80,15 @@ bench:
 # if any of the 20 ResNet-50 shapes takes over 500µs to first plan.
 # The second step replays a real A64FX schedule in virtual time and
 # asserts the paper's CMG figure: monotone in-group scaling and the
-# efficiency collapse once workers span CMGs.
+# efficiency collapse once workers span CMGs. The third replays a
+# mixed-class ResNet-50 workload and asserts the QoS win: weighted
+# claiming beats FIFO on latency-class p99 queue wait without
+# degrading makespan more than 5%.
 bench-smoke:
 	AUTOGEMM_FAULT=all $(GO) run ./cmd/autogemm-bench -json -tag smoke -layers L16,L20 -mintime 50ms -assert-first-hit 500
 	@rm -f BENCH_smoke.json
 	$(GO) run ./cmd/autogemm-bench -sim-scaling -sim-chips A64FX -assert-cmg-collapse >/dev/null
+	$(GO) run ./cmd/autogemm-bench -sim-qos -assert-qos >/dev/null
 
 clean:
 	$(GO) clean ./...

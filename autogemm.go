@@ -113,6 +113,11 @@ type Engine struct {
 
 	workers, depth int // construction-time pool configuration
 
+	// QoS configuration (see qos.go): the class unlabelled work runs
+	// under and the WithClass setups applied when the pool is built.
+	defaultClass string
+	classCfg     []classSetup
+
 	// Tiered planning state (see tiered.go). upgrading tracks the
 	// fingerprints with a background upgrade in flight; each maps to a
 	// channel closed when that upgrade settles.
@@ -180,6 +185,9 @@ func New(chipName string, opts ...EngineOption) (*Engine, error) {
 		o(e)
 	}
 	e.sched = sched.New(e.workers, e.depth)
+	for _, cs := range e.classCfg {
+		e.sched.ConfigureClass(cs.name, sched.ClassConfig{Weight: cs.weight, Depth: cs.depth})
+	}
 	return e, nil
 }
 
@@ -207,6 +215,7 @@ func (e *Engine) Lanes() int { return e.chip.Lanes }
 func (e *Engine) resolve(opts *Options) (core.Options, error) {
 	co := core.AutoOptions(e.chip)
 	co.Runtime = e.sched
+	co.DefaultQoS = sched.QoS{Class: e.defaultClass}
 	if opts == nil {
 		return co, nil
 	}
@@ -300,6 +309,7 @@ func (e *Engine) Tune(m, n, k, budget int) (Options, Perf, error) {
 	if _, err := e.plans.Get(rec.Fingerprint, func() (*core.Plan, error) {
 		o := res.Best.Options()
 		o.Runtime = e.sched
+		o.DefaultQoS = sched.QoS{Class: e.defaultClass}
 		o.TrustedPlan = true // tuned in-process, no audit needed
 		return core.Attach(e.chip, rec, o)
 	}); err != nil {

@@ -40,6 +40,11 @@ type benchResult struct {
 	// points replayed from a real schedule (see simscaling.go). Unlike
 	// the wall-clock sections above it is host-independent.
 	SimScaling []simChipScaling `json:"simScaling,omitempty"`
+
+	// SimQoS holds the FIFO-vs-weighted scheduling comparison written
+	// by `-sim-qos -sim-update-bench merge` (see simqos.go). Also
+	// host-independent: all figures are simulated cycles.
+	SimQoS *simQoSReport `json:"simQoS,omitempty"`
 }
 
 // benchBatchRun is one batch-throughput measurement: the whole shape

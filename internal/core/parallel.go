@@ -122,10 +122,19 @@ func checkGeometry(m, n, k int) error {
 
 // submitJob validates the geometry and operand buffers and enqueues the
 // plan's C-tile-group task list on the runtime as one job bound to ctx,
-// claimed by at most `workers` pool workers (<= 0 means all of them).
-func (p *Plan) submitJob(ctx context.Context, c, a, b []float32, workers int) (*RunFuture, error) {
+// claimed by at most `workers` pool workers (<= 0 means all of them),
+// scheduled under qos. A zero-field QoS inherits the plan's default
+// (Options.DefaultQoS, set by the owning engine): class first, then
+// weight — a per-call deadline is never defaulted.
+func (p *Plan) submitJob(ctx context.Context, c, a, b []float32, workers int, qos sched.QoS) (*RunFuture, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if qos.Class == "" {
+		qos.Class = p.defaultQoS.Class
+	}
+	if qos.Weight == 0 {
+		qos.Weight = p.defaultQoS.Weight
 	}
 	m, n, k := p.M, p.N, p.K
 	if err := checkGeometry(m, n, k); err != nil {
@@ -145,7 +154,7 @@ func (p *Plan) submitJob(ctx context.Context, c, a, b []float32, workers int) (*
 		workers = 1
 	}
 	seq := atomic.AddUint64(&jobSeq, 1)
-	fut, err := p.runtime.SubmitContext(ctx, len(p.groups), workers, func(w *sched.Worker, gi int) error {
+	fut, err := p.runtime.SubmitQoS(ctx, len(p.groups), workers, qos, func(w *sched.Worker, gi int) error {
 		st := p.stateFor(w, seq)
 		for _, blk := range p.groups[gi] {
 			if err := p.runBlock(st, blk, c, a, b); err != nil {
@@ -171,14 +180,23 @@ func (p *Plan) submitJob(ctx context.Context, c, a, b []float32, workers int) (*
 // participate — and returns a future for its completion. The operand
 // slices must stay untouched until Wait returns.
 func (p *Plan) Submit(c, a, b []float32) (*RunFuture, error) {
-	return p.submitJob(context.Background(), c, a, b, 0)
+	return p.submitJob(context.Background(), c, a, b, 0, sched.QoS{})
 }
 
 // SubmitContext is Submit bound to a context: cancellation mid-job
 // skips the remaining C-tile groups (the job fails with ctx.Err()) and
 // unblocks a submitter stalled on scheduler backpressure.
 func (p *Plan) SubmitContext(ctx context.Context, c, a, b []float32) (*RunFuture, error) {
-	return p.submitJob(ctx, c, a, b, 0)
+	return p.submitJob(ctx, c, a, b, 0, sched.QoS{})
+}
+
+// SubmitQoS is SubmitContext with an explicit scheduling QoS: the job
+// parks in qos.Class's queue of the runtime and competes under that
+// class's weight; a set qos.Deadline bounds completion (expired →
+// sched.ErrAdmission before claiming). Zero fields inherit the plan's
+// engine-level default QoS.
+func (p *Plan) SubmitQoS(ctx context.Context, c, a, b []float32, qos sched.QoS) (*RunFuture, error) {
+	return p.submitJob(ctx, c, a, b, 0, qos)
 }
 
 // RunContext is Run bound to a context: when ctx fires mid-job the
@@ -188,7 +206,7 @@ func (p *Plan) SubmitContext(ctx context.Context, c, a, b []float32) (*RunFuture
 // task already running) — so the operand slices are always quiescent
 // when it returns and may be reused immediately.
 func (p *Plan) RunContext(ctx context.Context, c, a, b []float32) error {
-	fut, err := p.submitJob(ctx, c, a, b, 1)
+	fut, err := p.submitJob(ctx, c, a, b, 1, sched.QoS{})
 	if err != nil {
 		return err
 	}
@@ -201,7 +219,7 @@ func (p *Plan) RunContext(ctx context.Context, c, a, b []float32) error {
 // whole pool. Results are bit-identical to Run: each C tile's k chunks
 // execute in ascending order within one task.
 func (p *Plan) RunParallel(c, a, b []float32, workers int) error {
-	fut, err := p.submitJob(context.Background(), c, a, b, workers)
+	fut, err := p.submitJob(context.Background(), c, a, b, workers, sched.QoS{})
 	if err != nil {
 		return err
 	}
@@ -212,7 +230,7 @@ func (p *Plan) RunParallel(c, a, b []float32, workers int) error {
 // RunContext it returns only once the job has completed (promptly on
 // cancellation), so the operand slices are quiescent on return.
 func (p *Plan) RunParallelContext(ctx context.Context, c, a, b []float32, workers int) error {
-	fut, err := p.submitJob(ctx, c, a, b, workers)
+	fut, err := p.submitJob(ctx, c, a, b, workers, sched.QoS{})
 	if err != nil {
 		return err
 	}

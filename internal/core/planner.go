@@ -390,7 +390,10 @@ func SubmitProduce(pool *sched.Pool, chip *hw.Chip, m, n, k int, opts Options, o
 		}
 	}
 
-	fut, err := pool.TrySubmit(len(chunks), 0, func(_ *sched.Worker, i int) error {
+	// Upgrades run under the scheduler's background class: weighted
+	// claiming keeps DMT row-filling off the critical path whenever any
+	// foreground class has jobs queued, instead of competing FIFO.
+	fut, err := pool.TrySubmitQoS(len(chunks), 0, sched.QoS{Class: sched.BackgroundClass}, func(_ *sched.Worker, i int) error {
 		chunks[i].s.FillRows(chunks[i].lo, chunks[i].hi)
 		return nil
 	})
@@ -527,6 +530,7 @@ func Attach(chip *hw.Chip, rec *plan.Plan, runtime Options) (*Plan, error) {
 	if p.runtime == nil {
 		p.runtime = sched.Shared()
 	}
+	p.defaultQoS = o.DefaultQoS
 	p.states = make([]*execState, p.runtime.Workers())
 	p.groups = partitionGroups(p.blocks())
 	return p, nil

@@ -1,7 +1,7 @@
 // Package sched is the persistent execution runtime GEMMs run on: a
 // fixed set of worker goroutines owned by an engine (or the shared
-// process-wide pool), a bounded job queue, and futures for asynchronous
-// completion.
+// process-wide pool), bounded per-class job queues, and futures for
+// asynchronous completion.
 //
 // A job is one GEMM decomposed into independent tasks — the C-tile
 // groups of the plan's block grid. Tasks are claimed from a shared
@@ -9,23 +9,34 @@
 // RunParallel goroutines used, so an expensive edge group never
 // serializes the rest behind a static partition. Workers are not bound
 // to jobs: a worker that exhausts one job's claim frontier moves to the
-// next submitted job, and several workers gang up on a single large job
+// next claimable job, and several workers gang up on a single large job
 // (up to the job's participant cap), so a batch of small shapes never
 // strands workers behind one slow GEMM.
 //
-// Backpressure policy: the pool bounds the number of jobs in flight
-// (submitted but not yet completed). Submit blocks while the pool is at
-// depth and fails with ErrClosed once Close is called. Close drains
-// every job already accepted — their futures complete — and then stops
-// the workers; it never abandons accepted work.
+// Scheduling policy: jobs park in per-class queues (see qos.go). A free
+// worker joins the job chosen by deterministic weighted claiming across
+// the active classes — stride-scheduled credit, FIFO within a class,
+// ties broken by the lowest job ID — so a latency-sensitive class is
+// served preferentially while every class, whatever its weight, keeps
+// making progress. With a single active class this degenerates to the
+// plain FIFO the pre-QoS scheduler ran.
+//
+// Backpressure and admission: the pool bounds the number of jobs in
+// flight (submitted but not yet completed). Submit blocks while the
+// pool is at depth and fails with ErrClosed once Close is called. A
+// class configured with its own depth sheds instead: submissions beyond
+// it fail immediately with ErrAdmission. Close drains every job already
+// accepted — their futures complete — and then stops the workers; it
+// never abandons accepted work.
 //
 // Failure semantics: a panic inside a task is contained — it is
 // converted into a *PanicError on the job (matching ErrPanicked), the
 // worker survives, the job's remaining claims are skipped, and the
 // future still fires. SubmitContext binds a job to a context:
 // cancellation makes later claims skip work (the error-fast-path) and
-// wakes submitters blocked on backpressure. CloseWithTimeout bounds the
-// drain and reports still-running work instead of hanging.
+// wakes submitters blocked on backpressure; a QoS deadline rides the
+// same path. CloseWithTimeout bounds the drain and reports
+// still-running work instead of hanging.
 package sched
 
 import (
@@ -84,13 +95,16 @@ type Pool struct {
 	workers int
 	depth   int
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	jobs     []*job // claim frontier: accepted jobs with unclaimed tasks
-	inflight int    // accepted, not yet completed (bounded by depth)
-	started  bool
-	closed   bool
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	cond      *sync.Cond
+	classes   map[string]*classQueue // per-QoS-class claim frontiers (qos.go)
+	classList []*classQueue          // classes sorted by name: deterministic arbitration scans
+	vpass     uint64                 // stride clock: pass of the last chosen class
+	claimSeq  int64                  // join decisions made; queue-wait unit
+	inflight  int                    // accepted, not yet completed (bounded by depth)
+	started   bool
+	closed    bool
+	wg        sync.WaitGroup
 
 	submitted int64
 	completed int64
@@ -114,6 +128,7 @@ type Stats struct {
 	QueueHighWater int           // most jobs ever in flight at once (bounded by the depth)
 	TasksPanicked  int64         // tasks whose panic was recovered and converted to a job error
 	JobsCancelled  int64         // jobs that failed because their context was cancelled
+	Classes        []ClassStats  // per-QoS-class counters, sorted by class name (qos.go)
 	PerWorker      []WorkerStats // per-worker tasks run + charged virtual cycles (timekeeper.go)
 }
 
@@ -130,7 +145,7 @@ func New(workers, depth int) *Pool {
 			depth = 64
 		}
 	}
-	p := &Pool{workers: workers, depth: depth}
+	p := &Pool{workers: workers, depth: depth, classes: make(map[string]*classQueue)}
 	p.cond = sync.NewCond(&p.mu)
 	p.perWorker = make([]workerCounters, workers)
 	return p
@@ -182,12 +197,23 @@ type job struct {
 	stolen int64 // atomic: tasks run by non-primary participants
 
 	parts  int  // participants joined (under pool.mu)
-	listed bool // still on pool.jobs (under pool.mu)
+	listed bool // still on its class queue (under pool.mu)
+
+	cq        *classQueue        // owning class queue (under pool.mu)
+	cancel    context.CancelFunc // releases a QoS-deadline context at completion
+	acceptSeq int64              // pool claimSeq at acceptance (queue-wait base)
+	joined    bool               // first join recorded (under pool.mu)
 
 	mu  sync.Mutex
 	err error
 
 	fin chan struct{}
+}
+
+// joinableLocked reports whether a new participant may join the job:
+// unclaimed tasks remain and the participant cap is not reached.
+func (j *job) joinableLocked() bool {
+	return j.parts < j.max && atomic.LoadInt64(&j.next) < int64(j.n)
 }
 
 // Future is a handle on a submitted job. Wait blocks until every task
@@ -269,6 +295,16 @@ func (f *Future) Participants() int {
 // ran. Note that OnDone fires even on a job whose remaining tasks were
 // skipped after a failure — exactly the case a continuation must see
 // to run its error path.
+//
+// Ordering contract: fn is asynchronous with respect to Wait. The
+// callback is released by the same completion event that unblocks Wait
+// (and closes Done()), but there is NO ordering between the two — a
+// caller returning from Wait may observe the callback not yet run, and
+// fn may likewise run before any waiter wakes. What is guaranteed: fn
+// runs exactly once, it observes the same error Wait returns, and a
+// registration after completion still fires. Callers needing
+// wait-then-callback ordering must sequence it themselves;
+// TestOnDoneOrderingContract pins these semantics.
 func (f *Future) OnDone(fn func(error)) {
 	go func() {
 		<-f.j.fin
@@ -281,9 +317,9 @@ func (f *Future) OnDone(fn func(error)) {
 // (<= 0 means all). Tasks are claimed in ascending index order; with
 // maxWorkers = 1 exactly one worker executes 0..tasks-1 sequentially.
 // Submit blocks while the pool is at its in-flight depth and returns
-// ErrClosed after Close.
+// ErrClosed after Close. The job runs under the default QoS class.
 func (p *Pool) Submit(tasks, maxWorkers int, run func(w *Worker, task int) error) (*Future, error) {
-	return p.SubmitContext(context.Background(), tasks, maxWorkers, run)
+	return p.submit(context.Background(), tasks, maxWorkers, QoS{}, true, run)
 }
 
 // SubmitContext is Submit bound to a context. A context that fires
@@ -294,27 +330,79 @@ func (p *Pool) Submit(tasks, maxWorkers int, run func(w *Worker, task int) error
 // its future returns ctx.Err(). A task already running is not
 // interrupted. A nil context means Background.
 func (p *Pool) SubmitContext(ctx context.Context, tasks, maxWorkers int, run func(w *Worker, task int) error) (*Future, error) {
+	return p.submit(ctx, tasks, maxWorkers, QoS{}, true, run)
+}
+
+// SubmitQoS is SubmitContext with an explicit QoS: the job parks in
+// qos.Class's queue, is claimed at that class's weight, and — when
+// qos.Deadline is set — fails before claiming once the deadline
+// expires. Admission control applies: a class at its configured depth,
+// or a deadline already expired at submission, refuses the job with an
+// error matching ErrAdmission instead of blocking.
+func (p *Pool) SubmitQoS(ctx context.Context, tasks, maxWorkers int, qos QoS, run func(w *Worker, task int) error) (*Future, error) {
+	return p.submit(ctx, tasks, maxWorkers, qos, true, run)
+}
+
+// TrySubmit is Submit without the backpressure wait: when the pool is
+// at its in-flight depth it fails immediately with ErrBusy instead of
+// blocking. Everything else matches Submit. It exists for best-effort
+// background work — a caller serving a latency-sensitive request must
+// never park behind the queue just to schedule an optimization.
+func (p *Pool) TrySubmit(tasks, maxWorkers int, run func(w *Worker, task int) error) (*Future, error) {
+	return p.submit(context.Background(), tasks, maxWorkers, QoS{}, false, run)
+}
+
+// TrySubmitQoS is TrySubmit with an explicit QoS — the non-blocking
+// submission the background planner uses to enqueue its DMT upgrades
+// under BackgroundClass.
+func (p *Pool) TrySubmitQoS(tasks, maxWorkers int, qos QoS, run func(w *Worker, task int) error) (*Future, error) {
+	return p.submit(context.Background(), tasks, maxWorkers, qos, false, run)
+}
+
+// submit is the single intake path behind every Submit variant:
+// validate, resolve the QoS class, apply admission control, wait out
+// (or refuse, for try-submits) pool-level backpressure, and accept the
+// job into its class queue.
+func (p *Pool) submit(ctx context.Context, tasks, maxWorkers int, qos QoS, wait bool, run func(w *Worker, task int) error) (*Future, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if tasks < 0 {
 		return nil, fmt.Errorf("sched: negative task count %d", tasks)
 	}
-	if err := ctx.Err(); err != nil {
+	var cancel context.CancelFunc
+	if !qos.Deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, qos.Deadline)
+	}
+	fail := func(err error) (*Future, error) {
+		if cancel != nil {
+			cancel()
+		}
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		if cancel != nil && errors.Is(err, context.DeadlineExceeded) {
+			p.countRejected(qos)
+			return fail(fmt.Errorf("%w: class %q deadline already expired: %v", ErrAdmission, qos.className(), err))
+		}
+		return fail(err)
 	}
 	if maxWorkers <= 0 || maxWorkers > p.workers {
 		maxWorkers = p.workers
 	}
-	j := &job{pool: p, ctx: ctx, n: tasks, max: maxWorkers, run: run, fin: make(chan struct{})}
+	j := &job{pool: p, ctx: ctx, n: tasks, max: maxWorkers, run: run, cancel: cancel, fin: make(chan struct{})}
 
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return nil, ErrClosed
+		return fail(ErrClosed)
 	}
 	p.startLocked()
 	if p.inflight >= p.depth {
+		if !wait {
+			p.mu.Unlock()
+			return fail(ErrBusy)
+		}
 		// Blocked on backpressure: a cond.Wait cannot select on the
 		// context, so a watcher broadcasts when it fires and the loop
 		// re-checks ctx.Err. The watcher exits either way.
@@ -340,76 +428,74 @@ func (p *Pool) SubmitContext(ctx context.Context, tasks, maxWorkers int, run fun
 	}
 	if p.closed {
 		p.mu.Unlock()
-		return nil, ErrClosed
+		return fail(ErrClosed)
+	}
+	cq := p.classLocked(qos.className())
+	if qos.Weight > 0 {
+		cq.weight = qos.Weight
 	}
 	if err := ctx.Err(); err != nil {
+		if cancel != nil && errors.Is(err, context.DeadlineExceeded) {
+			cq.rejected++
+			p.mu.Unlock()
+			return fail(fmt.Errorf("%w: class %q deadline expired before acceptance: %v", ErrAdmission, cq.name, err))
+		}
 		p.mu.Unlock()
-		return nil, err
+		return fail(err)
+	}
+	if cq.depth > 0 && cq.inflight >= cq.depth {
+		// Per-class admission sheds immediately — a bounded class never
+		// converts its own overload into blocking for the submitter.
+		cq.rejected++
+		p.mu.Unlock()
+		return fail(fmt.Errorf("%w: class %q at depth %d", ErrAdmission, cq.name, cq.depth))
 	}
 	p.submitted++
+	cq.submitted++
 	p.jobSeq++
 	j.id = p.jobSeq
+	j.cq = cq
+	j.acceptSeq = p.claimSeq
 	p.inflight++
+	cq.inflight++
 	if p.inflight > p.highWater {
 		p.highWater = p.inflight
 	}
 	if tasks == 0 {
 		p.inflight--
+		cq.inflight--
 		p.completed++
+		cq.completed++
 		p.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
 		close(j.fin)
 		return &Future{j}, nil
 	}
 	j.listed = true
-	p.jobs = append(p.jobs, j)
+	cq.jobs = append(cq.jobs, j)
+	// A class activating after idling is clamped up to the stride clock
+	// so banked idle time can never monopolize the workers; for already
+	// active classes this is a no-op (their pass is >= vpass).
+	if cq.pass < p.vpass {
+		cq.pass = p.vpass
+	}
+	meta := JobMeta{Class: cq.name, Weight: cq.weight, Tasks: tasks, MaxWorkers: maxWorkers}
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	if jo, ok := p.timekeeper().(JobObserver); ok {
+		jo.ObserveJob(j.id, meta)
+	}
 	return &Future{j}, nil
 }
 
-// TrySubmit is Submit without the backpressure wait: when the pool is
-// at its in-flight depth it fails immediately with ErrBusy instead of
-// blocking. Everything else matches Submit. It exists for best-effort
-// background work — a caller serving a latency-sensitive request must
-// never park behind the queue just to schedule an optimization.
-func (p *Pool) TrySubmit(tasks, maxWorkers int, run func(w *Worker, task int) error) (*Future, error) {
-	if tasks < 0 {
-		return nil, fmt.Errorf("sched: negative task count %d", tasks)
-	}
-	if maxWorkers <= 0 || maxWorkers > p.workers {
-		maxWorkers = p.workers
-	}
-	j := &job{pool: p, ctx: context.Background(), n: tasks, max: maxWorkers, run: run, fin: make(chan struct{})}
-
+// countRejected tallies an admission refusal that happened before the
+// class queue was resolved under the lock.
+func (p *Pool) countRejected(qos QoS) {
 	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if p.inflight >= p.depth {
-		p.mu.Unlock()
-		return nil, ErrBusy
-	}
-	p.startLocked()
-	p.submitted++
-	p.jobSeq++
-	j.id = p.jobSeq
-	p.inflight++
-	if p.inflight > p.highWater {
-		p.highWater = p.inflight
-	}
-	if tasks == 0 {
-		p.inflight--
-		p.completed++
-		p.mu.Unlock()
-		close(j.fin)
-		return &Future{j}, nil
-	}
-	j.listed = true
-	p.jobs = append(p.jobs, j)
-	p.cond.Broadcast()
+	p.classLocked(qos.className()).rejected++
 	p.mu.Unlock()
-	return &Future{j}, nil
 }
 
 // Close rejects further submissions, drains every job already accepted,
@@ -454,6 +540,15 @@ func (p *Pool) beginClose() {
 }
 
 // Stats returns a snapshot of the pool's counters.
+//
+// Relaxed-read semantics of PerWorker: each worker's TasksRun and
+// BusyCycles live in separate single-writer atomic slots, folded in
+// busy-then-tasks order when a task completes (observeTask). A snapshot
+// taken while a task is mid-Charge therefore never tears a float and
+// never reports a task whose charge is missing — but it may observe a
+// charge whose task count is not yet incremented, and the pending cost
+// of the task currently running is invisible until that task completes.
+// The counters are exact whenever the pool is quiescent.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -465,6 +560,7 @@ func (p *Pool) Stats() Stats {
 		QueueHighWater: p.highWater,
 		TasksPanicked:  atomic.LoadInt64(&p.panicked),
 		JobsCancelled:  p.cancelled,
+		Classes:        p.classStatsLocked(),
 		PerWorker:      make([]WorkerStats, len(p.perWorker)),
 	}
 	for i := range p.perWorker {
@@ -490,9 +586,9 @@ func (p *Pool) startLocked() {
 }
 
 // worker is the scheduling loop of one pool goroutine: claim tasks from
-// the first joinable job, fall through to the next when a frontier is
-// exhausted, park when nothing is claimable, exit when the pool is
-// closed and drained.
+// the job weighted claiming selects, fall through to the next when a
+// frontier is exhausted, park when nothing is claimable, exit when the
+// pool is closed and drained.
 func (p *Pool) worker(id int) {
 	defer p.wg.Done()
 	w := &Worker{id: id, pool: p}
@@ -515,15 +611,40 @@ func (p *Pool) worker(id int) {
 	}
 }
 
-// claimableLocked returns the first accepted job a new participant may
-// join: unclaimed tasks remain and the participant cap is not reached.
+// claimableLocked is the join-decision arbiter: across every class with
+// a joinable job it picks the class with the lowest stride pass — ties
+// broken by the lowest head-job ID, so identical queue states always
+// produce identical decisions — charges that class one stride of
+// credit, and returns the class's first joinable job (FIFO within the
+// class). A lone active class is chosen unconditionally, which is
+// exactly the pre-QoS FIFO scan; weights only matter when classes
+// compete. Starvation-freedom: a class passed over keeps its pass while
+// the chosen class's pass advances, so any positive weight's pass
+// eventually becomes the minimum and the class is served.
 func (p *Pool) claimableLocked() *job {
-	for _, j := range p.jobs {
-		if j.parts < j.max && atomic.LoadInt64(&j.next) < int64(j.n) {
-			return j
+	var best *classQueue
+	var bestJob *job
+	for _, cq := range p.classList {
+		j := cq.joinableLocked()
+		if j == nil {
+			continue
+		}
+		if best == nil || cq.pass < best.pass || (cq.pass == best.pass && j.id < bestJob.id) {
+			best, bestJob = cq, j
 		}
 	}
-	return nil
+	if bestJob == nil {
+		return nil
+	}
+	p.vpass = best.pass
+	best.pass += best.stride()
+	p.claimSeq++
+	if !bestJob.joined {
+		bestJob.joined = true
+		best.waitJobs++
+		best.waitClaims += p.claimSeq - 1 - bestJob.acceptSeq
+	}
+	return bestJob
 }
 
 // work claims and runs tasks until the job's frontier is exhausted.
@@ -594,16 +715,17 @@ func (j *job) fail(err error, cancelled bool) {
 	}
 }
 
-// unlist removes an exhausted claim frontier from the pool's job list
+// unlist removes an exhausted claim frontier from its class queue
 // (idempotent — several workers can observe exhaustion concurrently).
 func (j *job) unlist() {
 	p := j.pool
 	p.mu.Lock()
 	if j.listed {
 		j.listed = false
-		for i, q := range p.jobs {
-			if q == j {
-				p.jobs = append(p.jobs[:i], p.jobs[i+1:]...)
+		q := j.cq.jobs
+		for i, other := range q {
+			if other == j {
+				j.cq.jobs = append(q[:i], q[i+1:]...)
 				break
 			}
 		}
@@ -611,15 +733,21 @@ func (j *job) unlist() {
 	p.mu.Unlock()
 }
 
-// finish completes the job: fold its counters into the pool, free an
-// in-flight slot (waking blocked Submit calls) and fire the future.
+// finish completes the job: fold its counters into the pool and its
+// class, free an in-flight slot (waking blocked Submit calls), release
+// a QoS-deadline context, and fire the future.
 func (j *job) finish() {
 	p := j.pool
 	p.mu.Lock()
 	p.inflight--
+	j.cq.inflight--
 	p.completed++
+	j.cq.completed++
 	p.stolen += atomic.LoadInt64(&j.stolen)
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	if j.cancel != nil {
+		j.cancel()
+	}
 	close(j.fin)
 }

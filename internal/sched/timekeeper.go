@@ -52,6 +52,23 @@ type Timekeeper interface {
 	ObserveTask(worker int, job int64, task int, cost TaskCost)
 }
 
+// JobMeta is the scheduling identity of an accepted job: what a
+// replay needs to reconstruct the pool's multi-job arbitration.
+type JobMeta struct {
+	Class      string // QoS class the job parked in
+	Weight     int    // class weight at acceptance
+	Tasks      int    // task count
+	MaxWorkers int    // participant cap (resolved, >= 1)
+}
+
+// JobObserver is an optional extension of Timekeeper: a hook that also
+// implements it is told each job's scheduling identity at acceptance,
+// before any of the job's tasks are observed. Invoked outside the pool
+// lock; implementations must be safe for concurrent use.
+type JobObserver interface {
+	ObserveJob(job int64, meta JobMeta)
+}
+
 // SetTimekeeper installs (or, with nil, removes) the pool's virtual
 // clock hook. It may be called at any time, including while jobs run;
 // tasks completing after the call observe the new hook.
@@ -107,11 +124,29 @@ type WorkerStats struct {
 type Recorder struct {
 	mu   sync.Mutex
 	jobs map[int64][]TaskCost
+	meta map[int64]JobMeta
 }
 
 // NewRecorder returns an empty Recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{jobs: make(map[int64][]TaskCost)}
+	return &Recorder{jobs: make(map[int64][]TaskCost), meta: make(map[int64]JobMeta)}
+}
+
+// ObserveJob implements JobObserver: the recorder files each accepted
+// job's scheduling identity so a multi-job replay (vtime.SimulateBatch)
+// can rebuild the class/weight arbitration the pool ran under.
+func (r *Recorder) ObserveJob(job int64, meta JobMeta) {
+	r.mu.Lock()
+	r.meta[job] = meta
+	r.mu.Unlock()
+}
+
+// Meta returns the scheduling identity recorded for one job.
+func (r *Recorder) Meta(job int64) (JobMeta, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.meta[job]
+	return m, ok
 }
 
 // ObserveTask implements Timekeeper.
@@ -167,13 +202,46 @@ func (r *Recorder) Total() TaskCost {
 
 // observeTask folds a completed task's charge into the per-worker
 // counters and forwards it to the Timekeeper, if one is installed.
+//
+// The busy charge is folded BEFORE the task counter is incremented on
+// purpose: the two slots are separate atomics with no common lock, so a
+// concurrent Stats snapshot sees them in some interleaving — this order
+// guarantees a snapshot never reports a task whose charge is missing
+// (TasksRun counted, BusyCycles not yet folded would understate average
+// cost). The benign converse — a folded charge whose task is not yet
+// counted — overstates nothing a quiescent read won't correct. See
+// Pool.Stats for the full relaxed-read contract.
 func (p *Pool) observeTask(w *Worker, job int64, task int) {
 	pw := &p.perWorker[w.id]
-	atomic.AddInt64(&pw.tasks, 1)
 	if w.pending != (TaskCost{}) {
 		addFloatBits(&pw.busy, w.pending.Cycles)
 	}
+	atomic.AddInt64(&pw.tasks, 1)
 	if tk := p.timekeeper(); tk != nil {
 		tk.ObserveTask(w.id, job, task, w.pending)
 	}
+}
+
+// IdleCycles derives each worker's idle time against a horizon: for
+// every worker it returns horizon − BusyCycles (clamped at zero). A
+// horizon <= 0 uses the busiest worker's BusyCycles — the makespan
+// lower bound a balanced schedule would achieve — which is the figure
+// the bench reports instead of re-deriving it ad hoc at call sites.
+func (s Stats) IdleCycles(horizon float64) []float64 {
+	if horizon <= 0 {
+		for _, pw := range s.PerWorker {
+			if pw.BusyCycles > horizon {
+				horizon = pw.BusyCycles
+			}
+		}
+	}
+	out := make([]float64, len(s.PerWorker))
+	for i, pw := range s.PerWorker {
+		idle := horizon - pw.BusyCycles
+		if idle < 0 {
+			idle = 0
+		}
+		out[i] = idle
+	}
+	return out
 }

@@ -11,3 +11,13 @@ func Launch(done chan struct{}) {
 func LaunchCall(f func()) {
 	go f()
 }
+
+// DrainQueue is the queue-shaped variant: a per-class job queue
+// drained by an ad-hoc goroutine instead of a pool worker. // want goroutine
+func DrainQueue(jobs chan func()) {
+	go func() {
+		for j := range jobs {
+			j()
+		}
+	}()
+}

@@ -42,7 +42,7 @@ func TestSeededDefects(t *testing.T) {
 		{"planmutbad", "planmut", 4, ""},
 		{"unsafebad", "unsafeptr", 1, ""},
 		{"ctxbad", "ctxfirst", 2, ""},
-		{"gobad", "goroutine", 2, ""},
+		{"gobad", "goroutine", 3, ""},
 		// walltime only fires inside virtual-time-critical packages, so
 		// the fixture poses as internal/sched.
 		{"walltimebad", "walltime", 2, "autogemm/internal/sched"},

@@ -126,6 +126,11 @@ type PlanCacheStats struct {
 	SchedTasksPanicked  int64 // tasks whose panic was contained into a job error
 	SchedJobsCancelled  int64 // jobs failed by context cancellation
 
+	// SchedClasses breaks the scheduler counters down per QoS class
+	// (sorted by class name; see qos.go). Empty until the first job is
+	// accepted.
+	SchedClasses []SchedClassStats
+
 	// Tiered planning (zero unless PlanModeTiered; see tiered.go).
 	HeuristicServed   int64 // serves answered by a tier-0 heuristic plan
 	UpgradesCompleted int64 // background upgrades hot-swapped into the cache
@@ -147,6 +152,7 @@ func (e *Engine) PlanCacheStats() PlanCacheStats {
 		SchedQueueHighWater: ss.QueueHighWater,
 		SchedTasksPanicked:  ss.TasksPanicked,
 		SchedJobsCancelled:  ss.JobsCancelled,
+		SchedClasses:        schedClassStats(ss.Classes),
 		HeuristicServed:     e.heuristicServed.Load(),
 		UpgradesCompleted:   e.upgradesCompleted.Load(),
 		UpgradesFailed:      e.upgradesFailed.Load(),

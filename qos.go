@@ -1,0 +1,204 @@
+package autogemm
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"autogemm/internal/sched"
+)
+
+// This file is the public multi-tenant QoS surface of the runtime:
+// scheduling classes, weighted claiming, per-class admission control
+// and deadlines, threaded down to internal/sched's per-class queues.
+// Existing entry points (Multiply, MultiplyBatch, Submit) are
+// untouched — they run under the engine's default class with behavior
+// identical to the pre-QoS scheduler — while the *Opts variants below
+// let a caller tag work with a class, weight and deadline. See
+// docs/INTERNALS.md, "Runtime & scheduling".
+
+// ErrAdmission matches (via errors.Is) every submission the scheduler
+// refuses at admission: a class at its configured depth bound, or a QoS
+// deadline already expired at submit time. Admission sheds immediately
+// — it never blocks the submitter the way queue-depth backpressure
+// does — so a serving front door can turn it into a 429 without
+// holding the request.
+var ErrAdmission = sched.ErrAdmission
+
+// DefaultClass is the scheduling class work runs under when no QoS is
+// given (engine default weight 16). BackgroundClass is the
+// minimum-weight class best-effort work — including the tiered
+// planner's background plan upgrades — runs under; it only consumes
+// workers no higher-weight class is asking for.
+const (
+	DefaultClass    = sched.DefaultClass
+	BackgroundClass = sched.BackgroundClass
+)
+
+// QoS tags a submission with its scheduling treatment.
+type QoS struct {
+	// Class names the scheduling class (queue) the job parks in. ""
+	// means the engine's default class (WithDefaultClass, else
+	// DefaultClass). Classes are created on first use; WithClass (or a
+	// positive Weight here) configures them.
+	Class string
+
+	// Weight, when positive, sets the class's relative share of worker
+	// claim decisions. Zero keeps the class's current weight
+	// (DefaultClass defaults to 16, every other class to 1). Weights
+	// are starvation-free: any positive-weight class keeps making
+	// progress under sustained higher-weight load.
+	Weight int
+
+	// Deadline, when non-zero, bounds the job's completion. An already
+	// expired deadline is refused with ErrAdmission; one that expires
+	// while the job is queued fails it before any task runs, and one
+	// that expires mid-run skips the remaining tasks — the error is
+	// context.DeadlineExceeded either way.
+	Deadline time.Time
+}
+
+func (q QoS) toSched() sched.QoS {
+	return sched.QoS{Class: q.Class, Weight: q.Weight, Deadline: q.Deadline}
+}
+
+// SubmitOpts carries the per-submission options of Engine.SubmitOpts.
+type SubmitOpts struct {
+	QoS QoS
+}
+
+// BatchOpts carries the per-batch options of MultiplyBatchOpts. The
+// QoS applies to every element of the batch.
+type BatchOpts struct {
+	QoS QoS
+}
+
+// WithDefaultClass sets the scheduling class work submitted without an
+// explicit QoS runs under (default DefaultClass). A serving setup can
+// point each tenant's engine-facing path at its own class.
+func WithDefaultClass(name string) EngineOption {
+	return func(e *Engine) { e.defaultClass = name }
+}
+
+// WithClass pre-configures a scheduling class on the engine's runtime:
+// weight is the class's relative share of worker claim decisions
+// (<= 0 keeps the default), depth bounds the class's jobs in flight
+// (beyond it submissions fail with ErrAdmission immediately; <= 0
+// means unbounded — only the engine-wide queue depth applies).
+func WithClass(name string, weight, depth int) EngineOption {
+	return func(e *Engine) {
+		e.classCfg = append(e.classCfg, classSetup{name: name, weight: weight, depth: depth})
+	}
+}
+
+// classSetup is a WithClass request applied once the pool exists.
+type classSetup struct {
+	name          string
+	weight, depth int
+}
+
+// ConfigureClass creates or reconfigures a scheduling class at runtime
+// — the dynamic counterpart of WithClass. It may be called while jobs
+// of the class are in flight; weight changes take effect on the next
+// claim decision.
+func (e *Engine) ConfigureClass(name string, weight, depth int) {
+	e.sched.ConfigureClass(name, sched.ClassConfig{Weight: weight, Depth: depth})
+}
+
+// SubmitOpts is Submit with explicit per-submission options. With a
+// zero SubmitOpts it is exactly Submit.
+func (e *Engine) SubmitOpts(g GEMM, o SubmitOpts) (*Future, error) {
+	return e.SubmitOptsContext(context.Background(), g, o)
+}
+
+// SubmitOptsContext is SubmitOpts bound to a context; the context and
+// the QoS deadline compose (whichever fires first cancels the job).
+func (e *Engine) SubmitOptsContext(ctx context.Context, g GEMM, o SubmitOpts) (*Future, error) {
+	p, err := e.plan(g.Opts, g.M, g.N, g.K)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := p.SubmitQoS(ctx, g.C, g.A, g.B, o.QoS.toSched())
+	if err != nil {
+		return nil, wrapExec(err)
+	}
+	return &Future{f: rf}, nil
+}
+
+// MultiplyBatchOpts is MultiplyBatch with per-batch options: every
+// element is submitted under o.QoS. Barrier and error semantics match
+// MultiplyBatch — all elements are submitted and all accepted jobs
+// waited for even when one fails; the first error, tagged with its
+// element index, is returned. An element refused at admission
+// (ErrAdmission) does not stop the rest of the batch.
+func (e *Engine) MultiplyBatchOpts(batch []GEMM, o BatchOpts) error {
+	return e.MultiplyBatchOptsContext(context.Background(), batch, o)
+}
+
+// MultiplyBatchOptsContext is MultiplyBatchOpts bound to a context.
+func (e *Engine) MultiplyBatchOptsContext(ctx context.Context, batch []GEMM, o BatchOpts) error {
+	futs := make([]*Future, len(batch))
+	var firstErr error
+	for i := range batch {
+		f, err := e.SubmitOptsContext(ctx, batch[i], SubmitOpts{QoS: o.QoS})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("autogemm: batch element %d: %w", i, err)
+			}
+			continue // remaining elements are independent: keep submitting
+		}
+		futs[i] = f
+	}
+	for i, f := range futs {
+		if f == nil {
+			continue
+		}
+		if err := f.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("autogemm: batch element %d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// SchedClassStats is one scheduling class's counters, as reported by
+// PlanCacheStats.SchedClasses.
+type SchedClassStats struct {
+	Class     string
+	Weight    int
+	Depth     int   // 0 = unbounded
+	InFlight  int   // accepted, not yet completed
+	Submitted int64 // jobs accepted into the class
+	Completed int64 // jobs whose every task finished
+	Rejected  int64 // submissions refused at admission
+
+	// Queue-wait accounting in claim decisions (the scheduler is
+	// wall-clock-free): how many worker claim decisions the class's
+	// jobs waited between acceptance and their first claim.
+	// Cycle-accurate wait distributions come from the virtual-time
+	// replay (autogemm-bench -sim-qos).
+	QueueWaitJobs   int64
+	QueueWaitClaims int64
+}
+
+// schedClassStats mirrors the scheduler's per-class snapshot into the
+// public type.
+func schedClassStats(in []sched.ClassStats) []SchedClassStats {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]SchedClassStats, len(in))
+	for i, c := range in {
+		out[i] = SchedClassStats{
+			Class:           c.Class,
+			Weight:          c.Weight,
+			Depth:           c.Depth,
+			InFlight:        c.InFlight,
+			Submitted:       c.Submitted,
+			Completed:       c.Completed,
+			Rejected:        c.Rejected,
+			QueueWaitJobs:   c.QueueWaitJobs,
+			QueueWaitClaims: c.QueueWaitClaims,
+		}
+	}
+	return out
+}
