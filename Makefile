@@ -83,12 +83,17 @@ bench:
 # efficiency collapse once workers span CMGs. The third replays a
 # mixed-class ResNet-50 workload and asserts the QoS win: weighted
 # claiming beats FIFO on latency-class p99 queue wait without
-# degrading makespan more than 5%.
+# degrading makespan more than 5%. The fourth saturates the real HTTP
+# serving front door with concurrent mixed-class clients and asserts
+# the serving bar: zero result corruption, the depth-bounded class
+# actually shedding, and a live weight-only retune preserving the
+# admission depth (the ConfigureClass regression, end to end).
 bench-smoke:
 	AUTOGEMM_FAULT=all $(GO) run ./cmd/autogemm-bench -json -tag smoke -layers L16,L20 -mintime 50ms -assert-first-hit 500
 	@rm -f BENCH_smoke.json
 	$(GO) run ./cmd/autogemm-bench -sim-scaling -sim-chips A64FX -assert-cmg-collapse >/dev/null
 	$(GO) run ./cmd/autogemm-bench -sim-qos -assert-qos >/dev/null
+	$(GO) run ./cmd/autogemm-bench -serve-load -serve-clients 24 -serve-workers 2 -serve-duration 1500ms -assert-serve >/dev/null
 
 clean:
 	$(GO) clean ./...

@@ -36,6 +36,21 @@ type Future struct{ f *core.RunFuture }
 // Wait blocks for completion and returns the job's first error.
 func (f *Future) Wait() error { return f.f.Wait() }
 
+// Done returns a channel closed when the job completes (every task ran
+// or was skipped). After Done, Wait returns without blocking — the
+// select-friendly completion signal a server multiplexing many futures
+// needs.
+func (f *Future) Done() <-chan struct{} { return f.f.Done() }
+
+// OnDone invokes fn with the job's completion error exactly once, on a
+// goroutine owned by the scheduler runtime — never inside a pool
+// worker, so fn may submit follow-up work or block briefly. It is how
+// a streaming server fans many futures into one channel without
+// parking a goroutine per Wait. The ordering contract matches the
+// scheduler's: fn is asynchronous with respect to Wait and Done — see
+// docs/INTERNALS.md, "Runtime & scheduling".
+func (f *Future) OnDone(fn func(error)) { f.f.OnDone(fn) }
+
 // Submit enqueues one GEMM on the engine's scheduler and returns a
 // future for its completion. Planning (or a plan-cache hit) happens
 // synchronously, so shape and option errors surface here; execution
@@ -68,13 +83,23 @@ func (e *Engine) MultiplyBatch(batch []GEMM) error {
 
 // MultiplyBatchContext is MultiplyBatch bound to a context: when ctx
 // fires, in-flight jobs of the batch are cancelled (their remaining
-// tasks skipped) and not-yet-accepted submissions abort, with the
-// element's error reporting ctx.Err(). The barrier semantics are
-// unchanged — every accepted job is waited for before returning.
+// tasks skipped) and not-yet-submitted elements are short-circuited
+// without resolving a plan or enqueueing a job, with the element's
+// error reporting ctx.Err(). The barrier semantics are unchanged —
+// every accepted job is waited for before returning.
 func (e *Engine) MultiplyBatchContext(ctx context.Context, batch []GEMM) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	futs := make([]*Future, len(batch))
 	var firstErr error
 	for i := range batch {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("autogemm: batch element %d: %w", i, err)
+			}
+			break
+		}
 		f, err := e.SubmitContext(ctx, batch[i])
 		if err != nil {
 			if firstErr == nil {

@@ -40,11 +40,24 @@ func main() {
 	simLayer := flag.String("sim-layer", "L1", "ResNet-50 layer for -sim-scaling")
 	simWorkers := flag.Int("sim-pool-workers", 4, "OS worker-pool size for the recorded -sim-scaling run (virtual worker counts are swept independently)")
 	assertCollapse := flag.Bool("assert-cmg-collapse", false, "fail -sim-scaling unless the A64FX curve shows the CMG efficiency collapse")
-	simUpdateBench := flag.String("sim-update-bench", "", "'merge' writes the -sim-scaling curves (or the -sim-qos report) into BENCH_<tag>.json")
+	simUpdateBench := flag.String("sim-update-bench", "", "'merge' writes the -sim-scaling curves (or the -sim-qos / -serve-load report) into BENCH_<tag>.json")
 	simQoS := flag.Bool("sim-qos", false, "replay a mixed-class ResNet-50 workload in virtual time and compare FIFO vs weighted claiming")
 	simQoSWorkers := flag.Int("sim-qos-workers", 8, "virtual worker count for the -sim-qos replay")
 	assertQoS := flag.Bool("assert-qos", false, "fail -sim-qos unless weighted claiming beats FIFO on latency-class p99 queue wait without degrading makespan >5%")
+	serveLoad := flag.Bool("serve-load", false, "saturate a real HTTP serving front door with concurrent mixed-class clients and measure per-class throughput/latency/shed rates")
+	serveClients := flag.Int("serve-clients", 64, "concurrent HTTP clients for -serve-load")
+	serveWorkers := flag.Int("serve-workers", 4, "engine worker count for -serve-load")
+	serveDuration := flag.Duration("serve-duration", 2*time.Second, "load window for -serve-load")
+	assertServe := flag.Bool("assert-serve", false, "fail -serve-load on corruption, a never-shedding depth bound, or a weight-only retune dropping the bound")
 	flag.Parse()
+
+	if *serveLoad {
+		if err := runServeLoadMode(*chip, *serveClients, *serveWorkers, *serveDuration, *jsonBench, *assertServe, *simUpdateBench, *tag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *simQoS {
 		if err := runSimQoSMode(*chip, *simWorkers, *simQoSWorkers, *jsonBench, *assertQoS, *simUpdateBench, *tag); err != nil {

@@ -45,6 +45,13 @@ type benchResult struct {
 	// by `-sim-qos -sim-update-bench merge` (see simqos.go). Also
 	// host-independent: all figures are simulated cycles.
 	SimQoS *simQoSReport `json:"simQoS,omitempty"`
+
+	// ServeLoad holds the HTTP serving saturation measurement written by
+	// `-serve-load -sim-update-bench merge` (see serveload.go):
+	// per-tenant-class throughput, latency percentiles and shed rates
+	// under concurrent mixed-class load, plus the live weight-only
+	// retune check. Wall-clock figures — host-dependent like Shapes.
+	ServeLoad *serveLoadReport `json:"serveLoad,omitempty"`
 }
 
 // benchBatchRun is one batch-throughput measurement: the whole shape

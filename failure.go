@@ -28,6 +28,12 @@ var ErrClosed = fmt.Errorf("autogemm: engine closed: %w", sched.ErrClosed)
 // the panic value and stack.
 var ErrPanicked = sched.ErrPanicked
 
+// ErrDrainTimeout matches (via errors.Is) the error CloseWithTimeout
+// returns when the drain deadline expires with jobs still running —
+// the signal a serving front door's graceful shutdown turns into "some
+// requests were abandoned" instead of hanging its process exit.
+var ErrDrainTimeout = sched.ErrDrainTimeout
+
 // ErrBadPlan matches (via errors.Is) every error LoadPlan returns for
 // a plan that cannot be trusted: JSON that fails to decode, a format
 // version this build does not read, or a decoded plan that fails the

@@ -70,6 +70,18 @@ func (f *RunFuture) Wait() error {
 	return f.err
 }
 
+// Done returns a channel closed when the job completes. After Done,
+// Wait returns without blocking.
+func (f *RunFuture) Done() <-chan struct{} { return f.f.Done() }
+
+// OnDone invokes fn with the job's completion error exactly once, on a
+// scheduler-owned goroutine (sched.Future.OnDone's contract). The
+// error is routed through Wait so the plan's job counters fold exactly
+// once however completion is observed.
+func (f *RunFuture) OnDone(fn func(error)) {
+	f.f.OnDone(func(error) { fn(f.Wait()) })
+}
+
 // JobID returns the scheduler's pool-unique ID for this job — the key
 // an installed sched.Timekeeper files its per-task cost observations
 // under (sched.Recorder.Costs).

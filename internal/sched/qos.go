@@ -84,21 +84,28 @@ func (q QoS) className() string {
 	return q.Class
 }
 
-// ClassConfig configures one class queue.
+// ClassConfig configures one class queue. Both fields follow the same
+// keep-on-zero contract, so a partial reconfiguration never silently
+// resets the dimension it did not name.
 type ClassConfig struct {
 	// Weight is the class's relative share of worker join decisions;
 	// <= 0 keeps the current (or default) weight.
 	Weight int
 	// Depth bounds the class's jobs in flight (accepted, not yet
 	// completed): at the bound further submissions are refused with
-	// ErrAdmission instead of blocking. <= 0 means unbounded — only the
-	// pool-wide depth applies.
+	// ErrAdmission instead of blocking. Positive sets the bound, 0
+	// keeps the current one (a new class starts unbounded), and a
+	// negative value explicitly clears it — only the pool-wide depth
+	// applies then.
 	Depth int
 }
 
 // ConfigureClass creates (or reconfigures) a class queue. It may be
 // called at any time, including while jobs of the class are in flight;
-// weight changes take effect on the next join decision.
+// weight changes take effect on the next join decision, depth changes
+// on the next submission. A zero field keeps the class's current
+// setting — a weight-only retune of a bounded class preserves its
+// admission bound — and a negative Depth explicitly removes the bound.
 func (p *Pool) ConfigureClass(name string, cfg ClassConfig) {
 	if name == "" {
 		name = DefaultClass
@@ -111,7 +118,7 @@ func (p *Pool) ConfigureClass(name string, cfg ClassConfig) {
 	}
 	if cfg.Depth > 0 {
 		cq.depth = cfg.Depth
-	} else {
+	} else if cfg.Depth < 0 {
 		cq.depth = 0
 	}
 }
@@ -185,7 +192,10 @@ func (cq *classQueue) joinableLocked() *job {
 
 // classLocked returns the named class queue, creating it on first use.
 // DefaultClass is born with weight 16 so foreground work outweighs
-// unconfigured (weight-1) classes such as BackgroundClass.
+// unconfigured (weight-1) classes such as BackgroundClass. New classes
+// are inserted at their sorted position (sort.Search + shift) instead
+// of re-sorting the whole list under pool.mu — class creation sits on
+// the submit path, and the list is already ordered.
 func (p *Pool) classLocked(name string) *classQueue {
 	if cq, ok := p.classes[name]; ok {
 		return cq
@@ -196,26 +206,51 @@ func (p *Pool) classLocked(name string) *classQueue {
 	}
 	cq := &classQueue{name: name, weight: w}
 	p.classes[name] = cq
-	p.classList = append(p.classList, cq)
-	sort.Slice(p.classList, func(i, j int) bool { return p.classList[i].name < p.classList[j].name })
+	i := sort.Search(len(p.classList), func(i int) bool { return p.classList[i].name >= name })
+	p.classList = append(p.classList, nil)
+	copy(p.classList[i+1:], p.classList[i:])
+	p.classList[i] = cq
 	return cq
+}
+
+// statsLocked snapshots one class queue's counters.
+func (cq *classQueue) statsLocked() ClassStats {
+	return ClassStats{
+		Class:           cq.name,
+		Weight:          cq.weight,
+		Depth:           cq.depth,
+		InFlight:        cq.inflight,
+		Submitted:       cq.submitted,
+		Completed:       cq.completed,
+		Rejected:        cq.rejected,
+		QueueWaitJobs:   cq.waitJobs,
+		QueueWaitClaims: cq.waitClaims,
+	}
+}
+
+// Class returns a snapshot of one class queue's counters without
+// materializing the full Stats slice — the single-class lookup a
+// serving control plane polls per tenant ("" means DefaultClass). The
+// second return is false when the class has never been configured or
+// submitted to.
+func (p *Pool) Class(name string) (ClassStats, bool) {
+	if name == "" {
+		name = DefaultClass
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cq, ok := p.classes[name]
+	if !ok {
+		return ClassStats{}, false
+	}
+	return cq.statsLocked(), true
 }
 
 // classStatsLocked snapshots every class queue, sorted by name.
 func (p *Pool) classStatsLocked() []ClassStats {
 	out := make([]ClassStats, 0, len(p.classList))
 	for _, cq := range p.classList {
-		out = append(out, ClassStats{
-			Class:           cq.name,
-			Weight:          cq.weight,
-			Depth:           cq.depth,
-			InFlight:        cq.inflight,
-			Submitted:       cq.submitted,
-			Completed:       cq.completed,
-			Rejected:        cq.rejected,
-			QueueWaitJobs:   cq.waitJobs,
-			QueueWaitClaims: cq.waitClaims,
-		})
+		out = append(out, cq.statsLocked())
 	}
 	return out
 }

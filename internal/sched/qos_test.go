@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -432,5 +433,112 @@ func TestQoSTrySubmitQoS(t *testing.T) {
 	close(gate)
 	if err := f1.Wait(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConfigureClassWeightOnlyKeepsDepth is the regression test for the
+// depth-clobber bug a serving control plane tripped: retuning a bounded
+// class's weight with a zero Depth used to silently reset the class to
+// unbounded, dropping its admission control mid-load. The contract now
+// mirrors Weight: 0 keeps the current bound, negative explicitly clears
+// it.
+func TestConfigureClassWeightOnlyKeepsDepth(t *testing.T) {
+	p := New(1, 0)
+	defer p.Close()
+	p.ConfigureClass("tenant", ClassConfig{Weight: 16, Depth: 2})
+
+	gate := make(chan struct{})
+	defer close(gate)
+	park := func() (*Future, error) {
+		return p.SubmitQoS(context.Background(), 1, 1, QoS{Class: "tenant"}, func(w *Worker, task int) error {
+			<-gate
+			return nil
+		})
+	}
+	// Fill the class to its depth.
+	for i := 0; i < 2; i++ {
+		if _, err := park(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := park(); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("at depth before retune: got %v, want ErrAdmission", err)
+	}
+
+	// Weight-only retune: Depth 0 must keep the existing bound.
+	p.ConfigureClass("tenant", ClassConfig{Weight: 4})
+	if cs, ok := p.Class("tenant"); !ok || cs.Depth != 2 || cs.Weight != 4 {
+		t.Fatalf("after weight-only retune: got %+v, want Weight 4 Depth 2", cs)
+	}
+	if _, err := park(); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("at depth after weight-only retune: got %v, want ErrAdmission (depth bound clobbered)", err)
+	}
+
+	// Negative Depth explicitly clears the bound.
+	p.ConfigureClass("tenant", ClassConfig{Depth: -1})
+	if cs, ok := p.Class("tenant"); !ok || cs.Depth != 0 || cs.Weight != 4 {
+		t.Fatalf("after explicit clear: got %+v, want Weight 4 Depth 0", cs)
+	}
+	if _, err := park(); err != nil {
+		t.Fatalf("after clearing the bound: %v", err)
+	}
+}
+
+// TestPoolClassSnapshot checks the single-class lookup: a configured
+// class is found (with "" resolving to DefaultClass after first use)
+// and an unknown class reports absence instead of a zero snapshot.
+func TestPoolClassSnapshot(t *testing.T) {
+	p := New(1, 0)
+	defer p.Close()
+	if _, ok := p.Class("ghost"); ok {
+		t.Fatal("unknown class reported present")
+	}
+	p.ConfigureClass("tenant", ClassConfig{Weight: 8, Depth: 3})
+	cs, ok := p.Class("tenant")
+	if !ok || cs.Class != "tenant" || cs.Weight != 8 || cs.Depth != 3 {
+		t.Fatalf("Class(tenant) = %+v, %v", cs, ok)
+	}
+	f, err := p.Submit(1, 1, func(w *Worker, task int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if cs, ok := p.Class(""); !ok || cs.Class != DefaultClass || cs.Submitted != 1 {
+		t.Fatalf("Class(\"\") = %+v, %v, want DefaultClass with 1 submitted", cs, ok)
+	}
+}
+
+// TestClassListOrderedInsertion checks that classes created in
+// arbitrary order land in their sorted position — the invariant the
+// deterministic arbitration scan and sorted Stats.Classes rely on now
+// that creation inserts instead of re-sorting.
+func TestClassListOrderedInsertion(t *testing.T) {
+	p := New(1, 0)
+	defer p.Close()
+	for _, name := range []string{"zeta", "alpha", "mid", "beta", "omega"} {
+		p.ConfigureClass(name, ClassConfig{Weight: 1})
+	}
+	classes := p.Stats().Classes
+	for i := 1; i < len(classes); i++ {
+		if classes[i-1].Class >= classes[i].Class {
+			t.Fatalf("class list not sorted: %q before %q", classes[i-1].Class, classes[i].Class)
+		}
+	}
+}
+
+// BenchmarkClassCreation guards the ordered-insertion path: creating a
+// class among many existing ones must stay O(list) for the shift, not
+// O(list log list) for a full re-sort under pool.mu.
+func BenchmarkClassCreation(b *testing.B) {
+	p := New(1, 0)
+	defer p.Close()
+	for i := 0; i < 256; i++ {
+		p.ConfigureClass(fmt.Sprintf("warm-%04d", i), ClassConfig{Weight: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ConfigureClass(fmt.Sprintf("bench-%08d", i), ClassConfig{Weight: 1})
 	}
 }

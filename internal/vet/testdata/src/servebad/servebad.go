@@ -1,0 +1,53 @@
+// Package servebad is a seeded-defect fixture shaped like serving
+// front-door code — the HTTP layer cmd/autogemm-serve and
+// internal/serve must keep clean. Request handlers must not spawn
+// goroutines of their own (streaming fans in through scheduler-owned
+// future callbacks), and exported context-taking client helpers follow
+// the context-first convention. The fixture is swept posed as
+// autogemm/cmd/autogemm-serve to prove the rules reach the serving
+// binary — no exemption may apply there.
+package servebad
+
+import "context"
+
+// result is a stand-in for one element's completion.
+type result struct {
+	index int
+	err   error
+}
+
+// StreamBatch drains completions with an ad-hoc goroutine per element
+// instead of a scheduler-owned callback. // want goroutine
+func StreamBatch(n int, wait func(int) error) <-chan result {
+	out := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func(idx int) {
+			out <- result{index: idx, err: wait(idx)}
+		}(i)
+	}
+	return out
+}
+
+// Shutdown spawns its own drain watcher instead of context.AfterFunc
+// or a bounded close. // want goroutine
+func Shutdown(stop <-chan struct{}, drain func()) {
+	go func() {
+		<-stop
+		drain()
+	}()
+}
+
+// MultiplyContext is a client helper burying the context. // want ctxfirst
+func MultiplyContext(m, n, k int, ctx context.Context) error {
+	_, _, _ = m, n, k
+	return ctx.Err()
+}
+
+// Serve is the clean shape: synchronous per-request work, context
+// first. Must NOT be flagged.
+func Serve(ctx context.Context, handle func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return handle()
+}

@@ -70,6 +70,32 @@ func TestSeededDefects(t *testing.T) {
 	}
 }
 
+// TestServeCmdScopeCovered sweeps the serving-shaped fixture posed as
+// the serving binary's import path: the goroutine and ctxfirst rules
+// must reach cmd/autogemm-serve — request handlers spawning their own
+// goroutines or burying the context are exactly the defects the
+// serving layer must not grow, and no package exemption may shadow
+// them there.
+func TestServeCmdScopeCovered(t *testing.T) {
+	findings := runFixtureAs(t, "servebad", "autogemm/cmd/autogemm-serve")
+	got := map[string]int{}
+	for _, f := range findings {
+		got[f.Analyzer]++
+	}
+	if got["goroutine"] != 2 {
+		t.Errorf("goroutine findings in cmd/autogemm-serve scope = %d, want 2", got["goroutine"])
+		for _, f := range findings {
+			t.Logf("  %s", f)
+		}
+	}
+	if got["ctxfirst"] != 1 {
+		t.Errorf("ctxfirst findings in cmd/autogemm-serve scope = %d, want 1", got["ctxfirst"])
+	}
+	if extra := len(findings) - got["goroutine"] - got["ctxfirst"]; extra != 0 {
+		t.Errorf("%d finding(s) from unexpected analyzers", extra)
+	}
+}
+
 // TestSkipExemptsConfinedPackage checks the package exemptions: the
 // same defect inside the package a rule confines to is not reported.
 func TestSkipExemptsConfinedPackage(t *testing.T) {

@@ -131,6 +131,13 @@ type PlanCacheStats struct {
 	// accepted.
 	SchedClasses []SchedClassStats
 
+	// SchedPerWorker reports each pool worker's task and busy/idle
+	// accounting, indexed by worker ID. BusyCycles/IdleCycles are in
+	// charged virtual cycles and stay zero unless cost accounting is
+	// enabled; TasksRun counts regardless. Idle is derived against the
+	// busiest worker at snapshot time (sched.Stats.IdleCycles).
+	SchedPerWorker []SchedWorkerStats
+
 	// Tiered planning (zero unless PlanModeTiered; see tiered.go).
 	HeuristicServed   int64 // serves answered by a tier-0 heuristic plan
 	UpgradesCompleted int64 // background upgrades hot-swapped into the cache
@@ -138,11 +145,30 @@ type PlanCacheStats struct {
 	NeighborSeeded    int64 // upgrades warm-started from a registry neighbor
 }
 
+// SchedWorkerStats is one pool worker's execution accounting, as
+// reported by PlanCacheStats.SchedPerWorker and exported per worker on
+// a serving front door's /metrics surface.
+type SchedWorkerStats struct {
+	TasksRun   int64   // tasks this worker executed
+	BusyCycles float64 // charged virtual cycles (0 without cost accounting)
+	IdleCycles float64 // busiest worker's busy cycles minus this worker's
+}
+
 // PlanCacheStats returns the engine's plan-cache and scheduler
 // counters.
 func (e *Engine) PlanCacheStats() PlanCacheStats {
 	s := e.plans.Stats()
 	ss := e.sched.Stats()
+	var perWorker []SchedWorkerStats
+	if len(ss.PerWorker) > 0 {
+		idle := ss.IdleCycles(0)
+		perWorker = make([]SchedWorkerStats, len(ss.PerWorker))
+		for i, pw := range ss.PerWorker {
+			perWorker[i] = SchedWorkerStats{
+				TasksRun: pw.TasksRun, BusyCycles: pw.BusyCycles, IdleCycles: idle[i],
+			}
+		}
+	}
 	return PlanCacheStats{
 		Hits: s.Hits, Misses: s.Misses, Built: s.Built, HitRate: s.HitRate(),
 		SchedWorkers:        ss.Workers,
@@ -153,6 +179,7 @@ func (e *Engine) PlanCacheStats() PlanCacheStats {
 		SchedTasksPanicked:  ss.TasksPanicked,
 		SchedJobsCancelled:  ss.JobsCancelled,
 		SchedClasses:        schedClassStats(ss.Classes),
+		SchedPerWorker:      perWorker,
 		HeuristicServed:     e.heuristicServed.Load(),
 		UpgradesCompleted:   e.upgradesCompleted.Load(),
 		UpgradesFailed:      e.upgradesFailed.Load(),

@@ -82,9 +82,11 @@ func WithDefaultClass(name string) EngineOption {
 
 // WithClass pre-configures a scheduling class on the engine's runtime:
 // weight is the class's relative share of worker claim decisions
-// (<= 0 keeps the default), depth bounds the class's jobs in flight
-// (beyond it submissions fail with ErrAdmission immediately; <= 0
-// means unbounded — only the engine-wide queue depth applies).
+// (<= 0 keeps the default), depth bounds the class's jobs in flight —
+// beyond it submissions fail with ErrAdmission immediately. A depth of
+// 0 keeps the class's current bound (a fresh class starts unbounded,
+// so at construction 0 simply means unbounded) and a negative depth
+// explicitly clears the bound, matching ConfigureClass.
 func WithClass(name string, weight, depth int) EngineOption {
 	return func(e *Engine) {
 		e.classCfg = append(e.classCfg, classSetup{name: name, weight: weight, depth: depth})
@@ -98,11 +100,30 @@ type classSetup struct {
 }
 
 // ConfigureClass creates or reconfigures a scheduling class at runtime
-// — the dynamic counterpart of WithClass. It may be called while jobs
-// of the class are in flight; weight changes take effect on the next
-// claim decision.
+// — the dynamic counterpart of WithClass, and the call a serving
+// control plane retunes tenants with under load. It may be called
+// while jobs of the class are in flight; weight changes take effect on
+// the next claim decision, depth changes on the next submission. Both
+// parameters follow the keep-on-zero contract: weight <= 0 keeps the
+// current weight, depth 0 keeps the current admission bound — so a
+// weight-only retune never drops a tenant's depth bound — and a
+// negative depth explicitly clears the bound (unbounded; only the
+// engine-wide queue depth applies).
 func (e *Engine) ConfigureClass(name string, weight, depth int) {
 	e.sched.ConfigureClass(name, sched.ClassConfig{Weight: weight, Depth: depth})
+}
+
+// ClassStats returns one scheduling class's counters without
+// materializing the whole PlanCacheStats snapshot — the per-tenant
+// lookup a serving front door polls on its hot path. "" names the
+// engine's built-in DefaultClass queue. The second return is false
+// until the class has been configured or first submitted to.
+func (e *Engine) ClassStats(name string) (SchedClassStats, bool) {
+	cs, ok := e.sched.Class(name)
+	if !ok {
+		return SchedClassStats{}, false
+	}
+	return schedClassStats([]sched.ClassStats{cs})[0], true
 }
 
 // SubmitOpts is Submit with explicit per-submission options. With a
@@ -129,17 +150,34 @@ func (e *Engine) SubmitOptsContext(ctx context.Context, g GEMM, o SubmitOpts) (*
 // element is submitted under o.QoS. Barrier and error semantics match
 // MultiplyBatch — all elements are submitted and all accepted jobs
 // waited for even when one fails; the first error, tagged with its
-// element index, is returned. An element refused at admission
-// (ErrAdmission) does not stop the rest of the batch.
+// element index, is returned. Any per-element submit error — an
+// admission refusal (ErrAdmission), bad geometry, a plan failure —
+// marks that element failed and continues the batch: the elements are
+// independent, so one element's refusal never takes the rest with it.
 func (e *Engine) MultiplyBatchOpts(batch []GEMM, o BatchOpts) error {
 	return e.MultiplyBatchOptsContext(context.Background(), batch, o)
 }
 
 // MultiplyBatchOptsContext is MultiplyBatchOpts bound to a context.
+// Once ctx fires, remaining submissions are short-circuited — no plan
+// is resolved and no job enqueued for elements not yet submitted; each
+// reports ctx.Err() — while every job already accepted is still waited
+// for, so the operand slices are quiescent on return.
 func (e *Engine) MultiplyBatchOptsContext(ctx context.Context, batch []GEMM, o BatchOpts) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	futs := make([]*Future, len(batch))
 	var firstErr error
 	for i := range batch {
+		if err := ctx.Err(); err != nil {
+			// Cancelled mid-batch: submitting the tail would plan and
+			// enqueue jobs that only fail with the same error.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("autogemm: batch element %d: %w", i, err)
+			}
+			break
+		}
 		f, err := e.SubmitOptsContext(ctx, batch[i], SubmitOpts{QoS: o.QoS})
 		if err != nil {
 			if firstErr == nil {

@@ -1,0 +1,63 @@
+package autogemm
+
+import (
+	"context"
+	"errors"
+	"net/http"
+)
+
+// This file is the public error-to-status surface a serving front door
+// (internal/serve, cmd/autogemm-serve) builds on: one canonical mapping
+// from the engine's sentinel errors to HTTP status codes, so every
+// server, client and test agrees on which failures are retryable. The
+// mapping is part of the API because it is part of the error contract:
+// errors.Is identities (ErrAdmission, context.DeadlineExceeded, ...)
+// must survive the trip through batch-element wrapping and an HTTP
+// boundary, and keeping the table next to the sentinels keeps the two
+// in lockstep.
+
+// StatusClientClosedRequest is the non-standard (nginx-convention)
+// status HTTPStatus maps context.Canceled to: the caller gave up, the
+// engine did nothing wrong, and no retry signal is appropriate.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps an error returned by the engine's execution surface
+// to the HTTP status a serving front door should answer with:
+//
+//	nil                      → 200 OK
+//	ErrAdmission             → 429 Too Many Requests (shed: retryable, send Retry-After)
+//	context.DeadlineExceeded → 504 Gateway Timeout   (QoS deadline expired)
+//	context.Canceled         → 499 client closed request
+//	ErrBadPlan               → 422 Unprocessable Entity (plan rejected by the audit)
+//	ErrClosed                → 503 Service Unavailable  (engine shutting down)
+//	anything else            → 500 Internal Server Error
+//
+// Matching is via errors.Is, so wrapped errors — a batch element's
+// "autogemm: batch element 3: ..." tag, the scheduler's admission
+// detail — map the same as the bare sentinels.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrAdmission):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, ErrBadPlan):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Retryable reports whether an execution error is worth retrying
+// against the same engine: admission sheds clear as load drains and a
+// drain timeout may resolve, while deadline expiry, cancellation and
+// plan rejections will fail identically on retry.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrAdmission)
+}
